@@ -1,0 +1,229 @@
+package snap
+
+// Benchmarks mirroring the paper's evaluation: one group per table and
+// figure. These run the same code paths as cmd/snap-bench at sizes
+// suitable for `go test -bench=.`; the cmd binary regenerates the full
+// tables with paper-vs-measured output (see EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"snap/internal/community"
+	"snap/internal/datasets"
+	"snap/internal/generate"
+	"snap/internal/graph"
+	"snap/internal/partition"
+)
+
+// --- Table 1: partitioning the three graph families ---
+
+const (
+	t1N = 10000
+	t1M = 50000
+	t1K = 8
+)
+
+func table1Road() *graph.Graph {
+	return generate.RoadMesh(100, 100, 0.12, 1)
+}
+
+func table1Random() *graph.Graph {
+	return generate.ErdosRenyi(t1N, t1M, 2)
+}
+
+func table1SmallWorld() *graph.Graph {
+	return generate.RMAT(t1N, t1M, generate.DefaultRMAT(), 3)
+}
+
+func benchPartition(b *testing.B, g *graph.Graph, method string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		switch method {
+		case "kway":
+			_, err = partition.MultilevelKWay(g, t1K, partition.MultilevelOptions{Seed: int64(i)})
+		case "recur":
+			_, err = partition.MultilevelRecursive(g, t1K, partition.MultilevelOptions{Seed: int64(i)})
+		case "rqi":
+			_, err = partition.SpectralRQI(g, t1K, partition.SpectralOptions{Seed: int64(i)})
+		case "lanczos":
+			_, err = partition.SpectralLanczos(g, t1K, partition.SpectralOptions{Seed: int64(i)})
+		}
+		if err != nil && err != partition.ErrNoConvergence {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_Road_MetisKway(b *testing.B)    { benchPartition(b, table1Road(), "kway") }
+func BenchmarkTable1_Road_MetisRecur(b *testing.B)   { benchPartition(b, table1Road(), "recur") }
+func BenchmarkTable1_Road_ChacoRQI(b *testing.B)     { benchPartition(b, table1Road(), "rqi") }
+func BenchmarkTable1_Road_ChacoLAN(b *testing.B)     { benchPartition(b, table1Road(), "lanczos") }
+func BenchmarkTable1_Random_MetisKway(b *testing.B)  { benchPartition(b, table1Random(), "kway") }
+func BenchmarkTable1_Random_MetisRecur(b *testing.B) { benchPartition(b, table1Random(), "recur") }
+func BenchmarkTable1_SmallWorld_MetisKway(b *testing.B) {
+	benchPartition(b, table1SmallWorld(), "kway")
+}
+func BenchmarkTable1_SmallWorld_ChacoRQI(b *testing.B) {
+	benchPartition(b, table1SmallWorld(), "rqi")
+}
+
+// --- Table 2: modularity algorithms on the benchmark networks ---
+
+func table2Email() *graph.Graph {
+	net, err := datasets.ByLabel("E-mail")
+	if err != nil {
+		panic(err)
+	}
+	return net.Build(0.5)
+}
+
+func BenchmarkTable2_GN_Karate(b *testing.B) {
+	g := datasets.Karate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.GirvanNewman(g, community.GNOptions{})
+	}
+}
+
+func BenchmarkTable2_GN_Email(b *testing.B) {
+	g := table2Email()
+	for i := 0; i < b.N; i++ {
+		community.GirvanNewman(g, community.GNOptions{Patience: 300})
+	}
+}
+
+func BenchmarkTable2_PBD_Email(b *testing.B) {
+	g := table2Email()
+	for i := 0; i < b.N; i++ {
+		community.PBD(g, community.PBDOptions{Seed: int64(i), Patience: 300})
+	}
+}
+
+func BenchmarkTable2_PMA_Email(b *testing.B) {
+	g := table2Email()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.PMA(g, community.PMAOptions{StopWhenNegative: true})
+	}
+}
+
+func BenchmarkTable2_PLA_Email(b *testing.B) {
+	g := table2Email()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.PLA(g, community.PLAOptions{Seed: int64(i)})
+	}
+}
+
+// --- Figure 2: scaling workload on RMAT-SF ---
+
+func figure2Graph() *graph.Graph {
+	net, err := datasets.ByLabel("RMAT-SF")
+	if err != nil {
+		panic(err)
+	}
+	return net.Build(0.01)
+}
+
+func BenchmarkFigure2_PBD_RMATSF(b *testing.B) {
+	g := figure2Graph()
+	for i := 0; i < b.N; i++ {
+		community.PBD(g, community.PBDOptions{
+			Seed: int64(i), SampleFraction: 0.02, SwitchThreshold: 128,
+			RefreshInterval: 64, Patience: 100, MaxRemovals: 500,
+		})
+	}
+}
+
+func BenchmarkFigure2_PMA_RMATSF(b *testing.B) {
+	g := figure2Graph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.PMA(g, community.PMAOptions{StopWhenNegative: true})
+	}
+}
+
+func BenchmarkFigure2_PLA_RMATSF(b *testing.B) {
+	g := figure2Graph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.PLA(g, community.PLAOptions{Seed: int64(i)})
+	}
+}
+
+// --- Figure 3(a): pBD vs one GN removal on PPI ---
+
+func figure3PPI() *graph.Graph {
+	net, err := datasets.ByLabel("PPI")
+	if err != nil {
+		panic(err)
+	}
+	return net.Build(0.25)
+}
+
+func BenchmarkFigure3a_PBD_PPI(b *testing.B) {
+	g := figure3PPI()
+	for i := 0; i < b.N; i++ {
+		community.PBD(g, community.PBDOptions{
+			Seed: int64(i), SampleFraction: 0.02, SwitchThreshold: 128,
+			RefreshInterval: 64, Patience: 200,
+		})
+	}
+}
+
+func BenchmarkFigure3a_GNRemoval_PPI(b *testing.B) {
+	g := figure3PPI()
+	for i := 0; i < b.N; i++ {
+		community.GirvanNewman(g, community.GNOptions{MaxRemovals: 1})
+	}
+}
+
+// --- Figure 3(b): agglomerative algorithms on Citations ---
+
+func figure3Citations() *graph.Graph {
+	net, err := datasets.ByLabel("Citations")
+	if err != nil {
+		panic(err)
+	}
+	return net.Build(0.1)
+}
+
+func BenchmarkFigure3b_PMA_Citations(b *testing.B) {
+	g := figure3Citations()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.PMA(g, community.PMAOptions{StopWhenNegative: true})
+	}
+}
+
+func BenchmarkFigure3b_PLA_Citations(b *testing.B) {
+	g := figure3Citations()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		community.PLA(g, community.PLAOptions{Seed: int64(i)})
+	}
+}
+
+// --- Supporting kernels (the SNAP "building blocks") ---
+
+func BenchmarkKernel_ModularityEval(b *testing.B) {
+	g := generate.RMAT(1<<15, 1<<17, generate.DefaultRMAT(), 1)
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = int32(v % 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		community.Modularity(g, assign, 0)
+	}
+}
+
+func BenchmarkKernel_ApproxBetweennessEdge(b *testing.B) {
+	g := generate.RMAT(1<<13, 1<<15, generate.DefaultRMAT(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApproxBetweenness(g, ApproxOptions{Seed: int64(i), ComputeEdge: true})
+	}
+}

@@ -1,0 +1,91 @@
+// Command snap-convert converts graphs between the supported formats:
+// the SNAP text edge list, the compact binary CSR snapshot, the
+// METIS/Chaco graph format, the DIMACS edge format, and (write-only)
+// GraphViz DOT.
+//
+// Usage:
+//
+//	snap-convert -i g.txt -from text -o g.metis -to metis
+//	snap-convert -i g.metis -from metis -o g.snp -to binary
+//	snap-convert -i g.txt -from text -o g.dot -to dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"snap/internal/graph"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "-", "input path ('-' = stdin)")
+		out      = flag.String("o", "-", "output path ('-' = stdout)")
+		from     = flag.String("from", "text", "input format: text | binary | metis | dimacs")
+		to       = flag.String("to", "text", "output format: text | binary | metis | dimacs | dot")
+		directed = flag.Bool("directed", false, "treat text input as directed")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var g *graph.Graph
+	var err error
+	switch *from {
+	case "text":
+		g, err = graph.ReadEdgeList(r, *directed)
+	case "binary":
+		g, err = graph.ReadBinary(r)
+	case "metis":
+		g, err = graph.ReadMETIS(r)
+	case "dimacs":
+		g, err = graph.ReadDIMACS(r)
+	default:
+		fatal(fmt.Errorf("unknown -from %q", *from))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *to {
+	case "text":
+		err = graph.WriteEdgeList(w, g)
+	case "binary":
+		err = graph.WriteBinary(w, g)
+	case "metis":
+		err = graph.WriteMETIS(w, g)
+	case "dimacs":
+		err = graph.WriteDIMACS(w, g)
+	case "dot":
+		err = graph.WriteDOT(w, g, nil)
+	default:
+		fatal(fmt.Errorf("unknown -to %q", *to))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "snap-convert: %v (%s -> %s)\n", g, *from, *to)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "snap-convert: %v\n", err)
+	os.Exit(1)
+}

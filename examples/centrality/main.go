@@ -1,0 +1,61 @@
+// Centrality: the paper's computational-biology use case — rank the
+// proteins of a protein-interaction network by betweenness to assess
+// lethality, and cross-check with articulation-point analysis
+// (low-degree articulation points are unlikely to be essential,
+// Bader & Madduri, HiCOMB 2007).
+//
+//	go run ./examples/centrality
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"snap"
+	"snap/internal/datasets"
+)
+
+func main() {
+	net, err := datasets.ByLabel("PPI")
+	if err != nil {
+		panic(err)
+	}
+	g := net.Build(1)
+	fmt.Println("protein interaction network:", g)
+
+	st := snap.Degrees(g)
+	fmt.Printf("degrees: min %d, max %d, mean %.1f\n", st.Min, st.Max, st.Mean)
+	fmt.Printf("assortativity: %+.3f (biological networks are disassortative)\n",
+		snap.Assortativity(g))
+
+	// Exact betweenness would need n traversals; the adaptive-sampling
+	// estimator ranks the high-centrality proteins at ~5% of the cost.
+	start := time.Now()
+	approx := snap.ApproxBetweenness(g, snap.ApproxOptions{Seed: 3, ComputeVertex: true})
+	fmt.Printf("\napproximate betweenness: %d of %d sources sampled, %.2fs\n",
+		approx.Sources, g.NumVertices(), time.Since(start).Seconds())
+
+	fmt.Println("most central proteins (lethality candidates):")
+	for rank, v := range snap.TopKVertices(approx.Vertex, 10) {
+		fmt.Printf("  %2d. protein %6d  BC %.3g  degree %d\n",
+			rank+1, v, approx.Vertex[v], g.Degree(v))
+	}
+
+	// Articulation-point analysis: cut proteins whose removal
+	// disconnects pathway groups.
+	bi := snap.Biconnected(g)
+	arts := bi.ArticulationPoints()
+	lowDeg := 0
+	for _, v := range arts {
+		if g.Degree(v) <= 3 {
+			lowDeg++
+		}
+	}
+	fmt.Printf("\narticulation points: %d (of which %d low-degree: unlikely essential)\n",
+		len(arts), lowDeg)
+	fmt.Printf("bridges: %d\n", len(bi.Bridges()))
+
+	// Closeness of the top hub for comparison.
+	hub := snap.TopKVertices(snap.DegreeCentrality(g), 1)[0]
+	fmt.Printf("\nhighest-degree protein: %d (degree %d)\n", hub, g.Degree(hub))
+}

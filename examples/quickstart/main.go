@@ -1,0 +1,53 @@
+// Quickstart: build a graph, traverse it, and find its communities.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snap"
+)
+
+func main() {
+	// Two tight groups of friends joined by a single acquaintance.
+	edges := []snap.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 0, V: 3},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 4, V: 6}, {U: 6, V: 7}, {U: 4, V: 7},
+		{U: 3, V: 4}, // the bridge
+	}
+	g, err := snap.Build(8, edges, snap.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+
+	// Breadth-first search from vertex 0.
+	bfs := snap.BFS(g, 0)
+	fmt.Printf("BFS: vertex 7 is %d hops from vertex 0\n", bfs.Dist[7])
+
+	// Connectivity structure.
+	cc := snap.ConnectedComponents(g)
+	fmt.Printf("connected components: %d\n", cc.Count)
+	bi := snap.Biconnected(g)
+	fmt.Printf("bridges: %d, articulation points: %v\n",
+		len(bi.Bridges()), bi.ArticulationPoints())
+
+	// Which edge carries the most shortest-path traffic?
+	bc := snap.Betweenness(g, snap.BetweennessOptions{ComputeEdge: true})
+	best := int32(0)
+	for id, s := range bc.Edge {
+		if s > bc.Edge[best] {
+			best = int32(id)
+		}
+	}
+	fmt.Printf("highest-betweenness edge id: %d (score %.1f)\n", best, bc.Edge[best])
+
+	// Community detection with the divisive pBD algorithm.
+	clusters, _ := snap.PBD(g, snap.PBDOptions{Seed: 1})
+	fmt.Printf("pBD found %d communities with modularity %.3f\n", clusters.Count, clusters.Q)
+	for id, members := range clusters.Members() {
+		fmt.Printf("  community %d: %v\n", id, members)
+	}
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snap/internal/bfs"
+	"snap/internal/community"
+	"snap/internal/datasets"
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+// Ablations measures the design choices DESIGN.md calls out:
+//
+//  1. pBD with vs without the biconnected-components bridge heuristic
+//     (optional step 1 of Algorithm 1).
+//  2. pBD approximate vs exact betweenness (the paper's core
+//     algorithm-engineering claim).
+//  3. Parallel BFS with vs without degree-aware frontier partitioning.
+//  4. The pMA ΔQ row structure (multilevel buckets) vs a naive linear
+//     scan for the row maximum.
+//  5. Dynamic-graph adjacency: hybrid treap representation vs plain
+//     arrays under a skewed update/lookup stream.
+func Ablations(cfg Config) {
+	cfg.fill()
+	w := cfg.Out
+	fmt.Fprintf(w, "== Ablations ==\n\n")
+
+	// --- 1 & 2: pBD variants on the PPI-like instance. ---
+	ppi, _ := datasets.ByLabel("PPI")
+	g := ppi.Build(clamp01(cfg.Scale * 10))
+	fmt.Fprintf(w, "pBD variants on PPI (n=%d, m=%d):\n", g.NumVertices(), g.NumEdges())
+	base := figurePBDOptions(cfg.Seed, 0)
+	base.Patience = 1200
+	base.MaxRemovals = g.NumEdges()
+	variants := []struct {
+		label string
+		opt   community.PBDOptions
+	}{
+		{"approx + bridge heuristic", base},
+		{"approx, no bridge heuristic", func() community.PBDOptions {
+			o := base
+			o.UseBridgeHeuristic = false
+			return o
+		}()},
+		{"exact betweenness (GN-style)", func() community.PBDOptions {
+			o := base
+			o.SampleFraction = 1.0
+			o.RefreshInterval = 1 // recompute after every removal, as GN does
+			// Exact refreshes are the expensive path; cap removals so
+			// the contrast is measurable in bounded time.
+			o.MaxRemovals = 200000 / g.NumVertices()
+			if o.MaxRemovals < 10 {
+				o.MaxRemovals = 10
+			}
+			o.Patience = 0
+			return o
+		}()},
+	}
+	for _, v := range variants {
+		var q float64
+		var removals int
+		dur := timed(func() {
+			c, dend := community.PBD(g, v.opt)
+			q = c.Q
+			removals = dend.Len()
+		})
+		fmt.Fprintf(w, "  %-30s %8.2fs  Q=%.3f  removals=%d\n",
+			v.label, seconds(dur), q, removals)
+	}
+	fmt.Fprintf(w, "  (exact variant removal-capped; per-removal cost is the contrast)\n\n")
+
+	// --- 3: BFS scheduling and direction strategies. ---
+	sw := generate.RMAT(int(100000*clamp01(cfg.Scale*10)), int(800000*clamp01(cfg.Scale*10)),
+		generate.DefaultRMAT(), cfg.Seed)
+	fmt.Fprintf(w, "parallel BFS on skewed R-MAT (n=%d, m=%d):\n", sw.NumVertices(), sw.NumEdges())
+	bfsVariants := []struct {
+		label string
+		run   func()
+	}{
+		{"static frontier chunks", func() { bfs.Parallel(sw, 0, bfs.Options{}) }},
+		{"degree-aware partitioning", func() { bfs.Parallel(sw, 0, bfs.Options{DegreeAware: true}) }},
+		{"direction-optimizing", func() { bfs.DirectionOptimizing(sw, 0, bfs.Options{}) }},
+		{"serial reference", func() { bfs.Serial(sw, 0, nil) }},
+	}
+	for _, v := range bfsVariants {
+		reps := 5
+		dur := timed(func() {
+			for i := 0; i < reps; i++ {
+				v.run()
+			}
+		})
+		fmt.Fprintf(w, "  %-30s %8.1f ms/traversal\n", v.label,
+			seconds(dur)/float64(reps)*1000)
+	}
+	fmt.Fprintln(w)
+
+	// --- 4: ΔQ row maximum structure. ---
+	fmt.Fprintf(w, "pMA ΔQ row maximum (100k ops on a 4096-entry row):\n")
+	fmt.Fprintf(w, "  %-30s %8.1f ms\n", "multilevel buckets", bucketMaxWorkload(true))
+	fmt.Fprintf(w, "  %-30s %8.1f ms\n", "naive linear scan", bucketMaxWorkload(false))
+	fmt.Fprintln(w)
+
+	// --- Extension baselines: modern comparators on the same instance.
+	emailNet, _ := datasets.ByLabel("E-mail")
+	ge := emailNet.Build(clamp01(cfg.Scale * 10))
+	fmt.Fprintf(w, "community algorithms vs modern baselines on E-mail (n=%d, m=%d):\n",
+		ge.NumVertices(), ge.NumEdges())
+	type algo struct {
+		label string
+		run   func() community.Clustering
+	}
+	for _, al := range []algo{
+		{"pMA (paper)", func() community.Clustering {
+			c, _ := community.PMA(ge, community.PMAOptions{StopWhenNegative: true})
+			return c
+		}},
+		{"pLA (paper)", func() community.Clustering {
+			return community.PLA(ge, community.PLAOptions{Seed: cfg.Seed})
+		}},
+		{"Louvain (2008 baseline)", func() community.Clustering {
+			return community.Louvain(ge, 0, cfg.Seed)
+		}},
+		{"leading-eigenvector", func() community.Clustering {
+			return community.SpectralCommunities(ge, community.SpectralOptions{Seed: cfg.Seed, Refine: true})
+		}},
+	} {
+		var c community.Clustering
+		dur := timed(func() { c = al.run() })
+		fmt.Fprintf(w, "  %-28s %8.2fs  Q=%.3f  communities=%d\n",
+			al.label, seconds(dur), c.Q, c.Count)
+	}
+	fmt.Fprintln(w)
+
+	// --- 5: dynamic adjacency representation. ---
+	fmt.Fprintf(w, "dynamic graph: hub-heavy inserts + worst-case membership probes:\n")
+	fmt.Fprintf(w, "  %-30s %8.1f ms\n", "hybrid treap (threshold 64)", dynamicWorkload(64))
+	fmt.Fprintf(w, "  %-30s %8.1f ms\n", "arrays only", dynamicWorkload(1<<30))
+	fmt.Fprintln(w)
+}
+
+func clamp01(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// bucketMaxWorkload simulates the pMA inner loop: interleaved value
+// updates and row-maximum queries, with and without the bucket index.
+func bucketMaxWorkload(useBuckets bool) float64 {
+	const rowSize = 4096
+	const ops = 100000
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, rowSize)
+	for i := range vals {
+		vals[i] = rng.Float64()*2 - 1
+	}
+	if useBuckets {
+		pq := community.NewBucketPQForBench()
+		for i, v := range vals {
+			pq.Set(int32(i), v)
+		}
+		dur := timed(func() {
+			for op := 0; op < ops; op++ {
+				pq.Set(int32(rng.Intn(rowSize)), rng.Float64()*2-1)
+				pq.Max()
+			}
+		})
+		return seconds(dur) * 1000
+	}
+	dur := timed(func() {
+		for op := 0; op < ops; op++ {
+			vals[rng.Intn(rowSize)] = rng.Float64()*2 - 1
+			best := 0
+			for i := 1; i < rowSize; i++ {
+				if vals[i] > vals[best] {
+					best = i
+				}
+			}
+			_ = best
+		}
+	})
+	return seconds(dur) * 1000
+}
+
+// dynamicWorkload inserts a skewed edge stream (hub-heavy) and then
+// performs membership queries and deletions.
+func dynamicWorkload(threshold int) float64 {
+	const n = 10000
+	const stream = 60000
+	rng := rand.New(rand.NewSource(2))
+	hub := func() int32 {
+		// 80% of endpoints land on 4 hot hubs, so hub adjacency grows
+		// to thousands of entries — the regime the treap targets.
+		if rng.Intn(10) < 8 {
+			return int32(rng.Intn(4))
+		}
+		return int32(rng.Intn(n))
+	}
+	dur := timed(func() {
+		d := graph.NewDynamic(n, false)
+		d.SetTreapThreshold(threshold)
+		type e struct{ u, v int32 }
+		edges := make([]e, 0, stream)
+		for i := 0; i < stream; i++ {
+			u, v := hub(), hub()
+			if u == v {
+				continue
+			}
+			if ok, _ := d.AddEdge(u, v); ok {
+				edges = append(edges, e{u, v})
+			}
+		}
+		// Membership probes against the hot hubs, mostly absent —
+		// the worst case for a linear adjacency scan.
+		for i := 0; i < stream; i++ {
+			d.HasEdge(int32(rng.Intn(4)), int32(rng.Intn(n)))
+		}
+		for _, ed := range edges {
+			d.DeleteEdge(ed.u, ed.v)
+		}
+	})
+	return seconds(dur) * 1000
+}

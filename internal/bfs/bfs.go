@@ -1,0 +1,211 @@
+// Package bfs implements SNAP's breadth-first search kernels: a serial
+// reference, and the lock-free level-synchronous parallel BFS with
+// degree-aware frontier partitioning that the paper uses as the
+// building block for centrality and community detection on small-world
+// networks (low diameter means few synchronization barriers).
+package bfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// Unreached marks vertices not reachable from the source.
+const Unreached = int32(-1)
+
+// Result holds a BFS tree: hop distances and parents (both -1 when
+// unreached, and Parent[src] == src).
+type Result struct {
+	Dist   []int32
+	Parent []int32
+}
+
+// Options configures a parallel traversal.
+type Options struct {
+	// Workers bounds parallelism; <= 0 means par.Workers().
+	Workers int
+	// Alive, when non-nil, restricts traversal to arcs whose edge id
+	// has Alive[eid] == true. Used by the divisive clustering
+	// algorithm, which logically deletes edges.
+	Alive []bool
+	// DegreeAware enables work-estimate-based frontier partitioning,
+	// the paper's fix for skewed degree distributions.
+	DegreeAware bool
+}
+
+// Serial runs a textbook queue-based BFS; the reference oracle for the
+// parallel kernel, and the fast path for small fragments.
+func Serial(g *graph.Graph, src int32, alive []bool) Result {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	queue := make([]int32, 0, 256)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for a := lo; a < hi; a++ {
+			if alive != nil && !alive[g.EID[a]] {
+				continue
+			}
+			u := g.Adj[a]
+			if dist[u] == Unreached {
+				dist[u] = dist[v] + 1
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return Result{Dist: dist, Parent: parent}
+}
+
+// Parallel runs the level-synchronous parallel BFS. Vertices at each
+// level are expanded concurrently; visitation is claimed with a
+// compare-and-swap on the distance array (the paper's lock-free
+// scheme), and each worker accumulates its slice of the next frontier
+// locally, so the only synchronization per level is one barrier.
+func Parallel(g *graph.Graph, src int32, opt Options) Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+
+	frontier := []int32{src}
+	level := int32(0)
+	nexts := make([][]int32, workers)
+	for len(frontier) > 0 {
+		level++
+		expand := func(w, lo, hi int) {
+			next := nexts[w][:0]
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				alo, ahi := g.Offsets[v], g.Offsets[v+1]
+				for a := alo; a < ahi; a++ {
+					if opt.Alive != nil && !opt.Alive[g.EID[a]] {
+						continue
+					}
+					u := g.Adj[a]
+					if atomic.CompareAndSwapInt32(&dist[u], Unreached, level) {
+						atomic.StoreInt32(&parent[u], v)
+						next = append(next, u)
+					}
+				}
+			}
+			nexts[w] = next
+		}
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
+		}
+		for i := range nexts {
+			if nexts[i] == nil {
+				nexts[i] = make([]int32, 0, 256)
+			}
+			nexts[i] = nexts[i][:0]
+		}
+		if w <= 1 {
+			expand(0, 0, len(frontier))
+		} else if opt.DegreeAware {
+			weight := make([]int64, len(frontier))
+			for i, v := range frontier {
+				weight[i] = g.Offsets[v+1] - g.Offsets[v]
+			}
+			par.ForDegreeAware(weight, w, expand)
+		} else {
+			par.ForChunkedN(len(frontier), w, expand)
+		}
+		frontier = frontier[:0]
+		for _, nx := range nexts {
+			frontier = append(frontier, nx...)
+		}
+	}
+	return Result{Dist: dist, Parent: parent}
+}
+
+// MaxDist reports the eccentricity of the source in r (the largest
+// finite distance), or 0 for an isolated source.
+func (r Result) MaxDist() int32 {
+	var mx int32
+	for _, d := range r.Dist {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Reached reports the number of vertices reached (including the source).
+func (r Result) Reached() int {
+	c := 0
+	for _, d := range r.Dist {
+		if d != Unreached {
+			c++
+		}
+	}
+	return c
+}
+
+// MultiSource runs independent BFS traversals from each source
+// concurrently — the paper's "path-limited searches" coarse-grained
+// paradigm — and calls visit(i, result) for each, in any order.
+// maxDepth < 0 means unlimited; otherwise traversal stops after that
+// many levels (path-limited search).
+func MultiSource(g *graph.Graph, sources []int32, maxDepth int32, workers int, visit func(i int, r Result)) {
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	var mu sync.Mutex
+	par.ForGuidedN(len(sources), 1, workers, func(i int) {
+		r := limitedSerial(g, sources[i], maxDepth)
+		mu.Lock()
+		visit(i, r)
+		mu.Unlock()
+	})
+}
+
+func limitedSerial(g *graph.Graph, src int32, maxDepth int32) Result {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	queue := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if maxDepth >= 0 && dist[v] >= maxDepth {
+			continue
+		}
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for a := lo; a < hi; a++ {
+			u := g.Adj[a]
+			if dist[u] == Unreached {
+				dist[u] = dist[v] + 1
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return Result{Dist: dist, Parent: parent}
+}

@@ -1,0 +1,110 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// DirectionOptimizing runs a direction-optimizing BFS (Beamer-style):
+// levels expand top-down (frontier pushes to neighbors) while the
+// frontier is small, and switch to bottom-up (unvisited vertices probe
+// whether any neighbor is in the frontier) when the frontier covers a
+// large fraction of the remaining edges. On small-world graphs the
+// middle levels contain most of the graph, and bottom-up sweeps touch
+// each unvisited vertex once instead of scanning the frontier's entire
+// (huge) neighborhood.
+func DirectionOptimizing(g *graph.Graph, src int32, opt Options) Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+
+	inFrontier := make([]uint32, n) // level+1 of frontier membership
+	frontier := []int32{src}
+	inFrontier[src] = 1
+	level := int32(0)
+	nexts := make([][]int32, workers)
+	for i := range nexts {
+		nexts[i] = make([]int32, 0, 256)
+	}
+
+	// Heuristic switch threshold: go bottom-up when the frontier's
+	// out-degree sum exceeds a fraction of remaining unexplored edges.
+	var frontierEdges int64
+	for _, v := range frontier {
+		frontierEdges += g.Offsets[v+1] - g.Offsets[v]
+	}
+	remaining := int64(g.NumArcs())
+
+	for len(frontier) > 0 {
+		level++
+		useBottomUp := frontierEdges*14 > remaining && opt.Alive == nil
+		for i := range nexts {
+			nexts[i] = nexts[i][:0]
+		}
+		if useBottomUp {
+			// Bottom-up: every unvisited vertex scans its neighbors
+			// for a frontier member.
+			par.ForChunkedN(n, workers, func(w, lo, hi int) {
+				next := nexts[w]
+				for vi := lo; vi < hi; vi++ {
+					if dist[vi] != Unreached {
+						continue
+					}
+					alo, ahi := g.Offsets[vi], g.Offsets[vi+1]
+					for a := alo; a < ahi; a++ {
+						u := g.Adj[a]
+						if inFrontier[u] == uint32(level) {
+							dist[vi] = level
+							parent[vi] = u
+							next = append(next, int32(vi))
+							break
+						}
+					}
+				}
+				nexts[w] = next
+			})
+		} else {
+			par.ForChunkedN(len(frontier), workers, func(w, lo, hi int) {
+				next := nexts[w]
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					alo, ahi := g.Offsets[v], g.Offsets[v+1]
+					for a := alo; a < ahi; a++ {
+						if opt.Alive != nil && !opt.Alive[g.EID[a]] {
+							continue
+						}
+						u := g.Adj[a]
+						if atomic.CompareAndSwapInt32(&dist[u], Unreached, level) {
+							atomic.StoreInt32(&parent[u], v)
+							next = append(next, u)
+						}
+					}
+				}
+				nexts[w] = next
+			})
+		}
+		remaining -= frontierEdges
+		frontier = frontier[:0]
+		frontierEdges = 0
+		for _, nx := range nexts {
+			frontier = append(frontier, nx...)
+		}
+		for _, v := range frontier {
+			inFrontier[v] = uint32(level) + 1
+			frontierEdges += g.Offsets[v+1] - g.Offsets[v]
+		}
+	}
+	return Result{Dist: dist, Parent: parent}
+}

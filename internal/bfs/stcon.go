@@ -1,0 +1,67 @@
+package bfs
+
+import "snap/internal/graph"
+
+// STConnectivity answers s-t connectivity queries with a bidirectional
+// BFS that expands the smaller frontier first — the st-connectivity
+// kernel the paper's BFS work (Bader & Madduri, ICPP 2006) pairs with
+// breadth-first search. Returns whether t is reachable from s and, if
+// so, the hop distance between them.
+func STConnectivity(g *graph.Graph, s, t int32) (connected bool, dist int32) {
+	if s == t {
+		return true, 0
+	}
+	n := g.NumVertices()
+	// level markers: 0 unvisited, +d from s side, -d from t side.
+	mark := make([]int32, n)
+	mark[s] = 1
+	mark[t] = -1
+	frontS := []int32{s}
+	frontT := []int32{t}
+	dS, dT := int32(1), int32(1)
+	for len(frontS) > 0 && len(frontT) > 0 {
+		if len(frontS) <= len(frontT) {
+			var meet int32 = -1
+			frontS, meet = stExpand(g, frontS, mark, dS, +1)
+			if meet >= 0 {
+				// meet carries the t-side depth at the contact vertex.
+				return true, (dS - 1) + meet
+			}
+			dS++
+		} else {
+			var meet int32 = -1
+			frontT, meet = stExpand(g, frontT, mark, dT, -1)
+			if meet >= 0 {
+				return true, (dT - 1) + meet
+			}
+			dT++
+		}
+	}
+	return false, -1
+}
+
+// stExpand advances one wave. sign +1 expands the s side (positive
+// marks), -1 the t side. On contact it returns the other side's depth
+// at the contact vertex plus one (the connecting edge).
+func stExpand(g *graph.Graph, front []int32, mark []int32, depth, sign int32) (next []int32, meet int32) {
+	for _, v := range front {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for a := lo; a < hi; a++ {
+			u := g.Adj[a]
+			mu := mark[u]
+			switch {
+			case mu == 0:
+				mark[u] = sign * (depth + 1)
+				next = append(next, u)
+			case mu*sign < 0:
+				// Opposite wave: total = this side's depth + other's.
+				other := mu
+				if other < 0 {
+					other = -other
+				}
+				return nil, other
+			}
+		}
+	}
+	return next, -1
+}

@@ -1,0 +1,58 @@
+package centrality
+
+import (
+	"math/rand"
+
+	"snap/internal/bfs"
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// ApproxCloseness estimates closeness centrality for every vertex with
+// the Eppstein–Wang sampling scheme: k BFS traversals from random
+// pivots give, for each vertex v, an unbiased estimate of its average
+// distance avg(v) ≈ (n/(n−1)·k) Σ_i d(p_i, v); closeness is the
+// reciprocal of the estimated total distance. With k = Θ(log n / ε²)
+// the estimate is within εΔ of the truth with high probability.
+// Vertices not reached by any pivot get score 0.
+func ApproxCloseness(g *graph.Graph, samples int, seed int64, workers int) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if samples <= 0 {
+		samples = 32
+	}
+	if samples > n {
+		samples = n
+	}
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	pivots := make([]int32, samples)
+	for i := range pivots {
+		pivots[i] = int32(perm[i])
+	}
+	totals := make([]float64, n)
+	counts := make([]int32, n)
+	bfs.MultiSource(g, pivots, -1, workers, func(_ int, r bfs.Result) {
+		for v, d := range r.Dist {
+			if d >= 0 {
+				totals[v] += float64(d)
+				counts[v]++
+			}
+		}
+	})
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if counts[v] == 0 || totals[v] == 0 {
+			continue
+		}
+		// Scale the sampled distance sum to the full vertex set.
+		est := totals[v] * float64(n) / float64(counts[v])
+		out[v] = 1 / est
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+// Package centrality implements SNAP's centrality kernels: degree and
+// closeness centrality, exact betweenness centrality (Brandes'
+// algorithm) for vertices and edges in both coarse-grained (parallel
+// over sources, O(p(m+n)) memory) and fine-grained (parallel within a
+// traversal, O(m+n) memory) forms, and the adaptive-sampling
+// approximate betweenness of Bader, Kintali, Madduri & Mihail (WAW
+// 2007) that powers the pBD community detection algorithm.
+package centrality
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// Scores holds betweenness centrality results. Undirected scores follow
+// the convention of counting each (s, t) pair once (s < t); i.e. raw
+// accumulated dependencies are halved for undirected graphs.
+type Scores struct {
+	// Vertex betweenness, length n. Nil if not requested.
+	Vertex []float64
+	// Edge betweenness indexed by edge id, length m. Nil if not
+	// requested.
+	Edge []float64
+	// Sources is the number of source traversals accumulated (n for
+	// exact computation, the sample count for sampled runs).
+	Sources int
+}
+
+// BetweennessOptions configures betweenness computation.
+type BetweennessOptions struct {
+	// Workers bounds parallelism; <= 0 means par.Workers().
+	Workers int
+	// Alive restricts traversal to edges with Alive[eid] == true.
+	Alive []bool
+	// ComputeVertex/ComputeEdge select which scores to accumulate.
+	// Both default to true when both are false.
+	ComputeVertex bool
+	ComputeEdge   bool
+	// Sources, when non-nil, restricts traversals to these source
+	// vertices (sampled approximation). Scores are NOT rescaled; use
+	// ScaleSampled to extrapolate.
+	Sources []int32
+	// FineGrained parallelizes within each traversal (O(m+n) memory)
+	// instead of across traversals (O(p(m+n)) memory).
+	FineGrained bool
+}
+
+// Betweenness computes exact (or source-sampled) betweenness
+// centrality on an unweighted graph via Brandes' dependency
+// accumulation.
+func Betweenness(g *graph.Graph, opt BetweennessOptions) Scores {
+	if !opt.ComputeVertex && !opt.ComputeEdge {
+		opt.ComputeVertex = true
+		opt.ComputeEdge = true
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	sources := opt.Sources
+	if sources == nil {
+		n := g.NumVertices()
+		sources = make([]int32, n)
+		for i := range sources {
+			sources[i] = int32(i)
+		}
+	}
+	if opt.FineGrained {
+		return betweennessFine(g, opt, sources, workers)
+	}
+	return betweennessCoarse(g, opt, sources, workers)
+}
+
+// betweennessCoarse distributes whole traversals across workers, each
+// with private accumulators — the paper's coarse-grained strategy with
+// O(p(m+n)) space.
+func betweennessCoarse(g *graph.Graph, opt BetweennessOptions, sources []int32, workers int) Scores {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	type acc struct {
+		vertex []float64
+		edge   []float64
+	}
+	accs := make([]acc, workers)
+	par.ForChunkedN(len(sources), workers, func(w, lo, hi int) {
+		st := newBrandesState(n)
+		a := acc{}
+		if opt.ComputeVertex {
+			a.vertex = make([]float64, n)
+		}
+		if opt.ComputeEdge {
+			a.edge = make([]float64, m)
+		}
+		for i := lo; i < hi; i++ {
+			st.run(g, sources[i], opt.Alive, a.vertex, a.edge)
+		}
+		accs[w] = a
+	})
+	out := Scores{Sources: len(sources)}
+	if opt.ComputeVertex {
+		out.Vertex = make([]float64, n)
+	}
+	if opt.ComputeEdge {
+		out.Edge = make([]float64, m)
+	}
+	for _, a := range accs {
+		for i, v := range a.vertex {
+			out.Vertex[i] += v
+		}
+		for i, v := range a.edge {
+			out.Edge[i] += v
+		}
+	}
+	if !g.Directed() {
+		halve(out.Vertex)
+		halve(out.Edge)
+	}
+	return out
+}
+
+func halve(xs []float64) {
+	for i := range xs {
+		xs[i] /= 2
+	}
+}
+
+// brandesState is the per-worker scratch of one Brandes traversal.
+type brandesState struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	order []int32 // vertices in BFS visitation order
+}
+
+func newBrandesState(n int) *brandesState {
+	return &brandesState{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		order: make([]int32, 0, n),
+	}
+}
+
+// run performs one source traversal and accumulates dependencies into
+// vertexAcc and/or edgeAcc (either may be nil).
+func (st *brandesState) run(g *graph.Graph, s int32, alive []bool, vertexAcc, edgeAcc []float64) {
+	dist, sigma, delta := st.dist, st.sigma, st.delta
+	for i := range dist {
+		dist[i] = -1
+		sigma[i] = 0
+		delta[i] = 0
+	}
+	order := st.order[:0]
+	dist[s] = 0
+	sigma[s] = 1
+	order = append(order, s)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for a := lo; a < hi; a++ {
+			if alive != nil && !alive[g.EID[a]] {
+				continue
+			}
+			u := g.Adj[a]
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				order = append(order, u)
+			}
+			if dist[u] == dist[v]+1 {
+				sigma[u] += sigma[v]
+			}
+		}
+	}
+	st.order = order
+	// Dependency accumulation in reverse BFS order. Predecessors of w
+	// are found by rescanning w's adjacency (SNAP's space optimization
+	// for small-world graphs instead of storing predecessor lists).
+	for i := len(order) - 1; i > 0; i-- {
+		w := order[i]
+		coeff := (1 + delta[w]) / sigma[w]
+		lo, hi := g.Offsets[w], g.Offsets[w+1]
+		for a := lo; a < hi; a++ {
+			if alive != nil && !alive[g.EID[a]] {
+				continue
+			}
+			v := g.Adj[a]
+			if dist[v] == dist[w]-1 {
+				c := sigma[v] * coeff
+				delta[v] += c
+				if edgeAcc != nil {
+					edgeAcc[g.EID[a]] += c
+				}
+			}
+		}
+		if vertexAcc != nil {
+			vertexAcc[w] += delta[w]
+		}
+	}
+}
+
+// betweennessFine runs traversals one at a time but parallelizes the
+// level-synchronous forward and backward sweeps — the O(m+n)-memory
+// strategy for graphs too large for per-worker accumulators.
+func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, workers int) Scores {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	out := Scores{Sources: len(sources)}
+	if opt.ComputeVertex {
+		out.Vertex = make([]float64, n)
+	}
+	if opt.ComputeEdge {
+		out.Edge = make([]float64, m)
+	}
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	levels := make([][]int32, 0, 64)
+	nexts := make([][]int32, workers)
+	for i := range nexts {
+		nexts[i] = make([]int32, 0, 256)
+	}
+
+	for _, s := range sources {
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		levels = levels[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		frontier := []int32{s}
+		d := int32(0)
+		for len(frontier) > 0 {
+			levels = append(levels, append([]int32(nil), frontier...))
+			d++
+			for i := range nexts {
+				nexts[i] = nexts[i][:0]
+			}
+			// Phase 1: claim next-level vertices with CAS on dist.
+			par.ForChunkedN(len(frontier), workers, func(w, lo, hi int) {
+				next := nexts[w]
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					alo, ahi := g.Offsets[v], g.Offsets[v+1]
+					for a := alo; a < ahi; a++ {
+						if opt.Alive != nil && !opt.Alive[g.EID[a]] {
+							continue
+						}
+						u := g.Adj[a]
+						if atomic.CompareAndSwapInt32(&dist[u], -1, d) {
+							next = append(next, u)
+						}
+					}
+				}
+				nexts[w] = next
+			})
+			frontier = frontier[:0]
+			for _, nx := range nexts {
+				frontier = append(frontier, nx...)
+			}
+			// Phase 2: accumulate sigma over the settled level. Each
+			// next-level vertex pulls from its predecessors, so no
+			// atomics are needed: u is owned by exactly one worker.
+			par.ForChunkedN(len(frontier), workers, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					u := frontier[i]
+					var s float64
+					alo, ahi := g.Offsets[u], g.Offsets[u+1]
+					for a := alo; a < ahi; a++ {
+						if opt.Alive != nil && !opt.Alive[g.EID[a]] {
+							continue
+						}
+						v := g.Adj[a]
+						if dist[v] == d-1 {
+							s += sigma[v]
+						}
+					}
+					sigma[u] = s
+				}
+			})
+		}
+		// Backward sweep, one level at a time; delta of deeper levels
+		// is final when a level is processed, and within a level each
+		// w is owned by one worker. Accumulation into predecessors'
+		// delta and into edge scores uses atomic float adds.
+		for li := len(levels) - 1; li > 0; li-- {
+			level := levels[li]
+			par.ForChunkedN(len(level), workers, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					w := level[i]
+					coeff := (1 + delta[w]) / sigma[w]
+					alo, ahi := g.Offsets[w], g.Offsets[w+1]
+					for a := alo; a < ahi; a++ {
+						if opt.Alive != nil && !opt.Alive[g.EID[a]] {
+							continue
+						}
+						v := g.Adj[a]
+						if dist[v] == dist[w]-1 {
+							c := sigma[v] * coeff
+							atomicAddFloat64(&delta[v], c)
+							if out.Edge != nil {
+								atomicAddFloat64(&out.Edge[g.EID[a]], c)
+							}
+						}
+					}
+					if out.Vertex != nil {
+						out.Vertex[w] += delta[w]
+					}
+				}
+			})
+		}
+	}
+	if !g.Directed() {
+		halve(out.Vertex)
+		halve(out.Edge)
+	}
+	return out
+}
+
+// atomicAddFloat64 adds delta to *addr with a CAS loop over the bit
+// pattern. The stdlib has no atomic float64 add.
+func atomicAddFloat64(addr *float64, delta float64) {
+	bits := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(bits)
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, nw) {
+			return
+		}
+	}
+}
+
+// ScaleSampled extrapolates sampled betweenness scores to the exact
+// scale: each accumulated dependency is multiplied by n/samples.
+func ScaleSampled(scores []float64, n, samples int) {
+	if samples == 0 {
+		return
+	}
+	f := float64(n) / float64(samples)
+	for i := range scores {
+		scores[i] *= f
+	}
+}
+
+// MaxEdge returns the edge id with the largest score among alive edges
+// (alive == nil means all), breaking ties toward the smaller id.
+// Returns -1 when no edge is alive.
+func MaxEdge(scores []float64, alive []bool) int32 {
+	best := int32(-1)
+	bv := math.Inf(-1)
+	for id, s := range scores {
+		if alive != nil && !alive[id] {
+			continue
+		}
+		if s > bv {
+			best, bv = int32(id), s
+		}
+	}
+	return best
+}
+
+// TopKEdges returns the ids of the k highest-scoring alive edges in
+// descending score order (ties toward smaller id). Used by pBD to keep
+// a candidate set of known high-centrality edges.
+func TopKEdges(scores []float64, alive []bool, k int) []int32 {
+	type se struct {
+		id int32
+		s  float64
+	}
+	var heap []se // min-heap of size <= k on (s, -id)
+	lessHeap := func(a, b se) bool {
+		if a.s != b.s {
+			return a.s < b.s
+		}
+		return a.id > b.id
+	}
+	push := func(x se) {
+		heap = append(heap, x)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !lessHeap(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	popRoot := func() {
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && lessHeap(heap[l], heap[small]) {
+				small = l
+			}
+			if r < last && lessHeap(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for id, s := range scores {
+		if alive != nil && !alive[id] {
+			continue
+		}
+		x := se{id: int32(id), s: s}
+		if len(heap) < k {
+			push(x)
+		} else if k > 0 && lessHeap(heap[0], x) {
+			popRoot()
+			push(x)
+		}
+	}
+	out := make([]int32, len(heap))
+	// Extract ascending, then reverse.
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = heap[0].id
+		popRoot()
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package centrality
+
+import (
+	"snap/internal/bfs"
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// DegreeCentrality returns the degree of every vertex as a float64
+// score (the simplest local centrality index).
+func DegreeCentrality(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = float64(g.Degree(int32(v)))
+	}
+	return out
+}
+
+// ClosenessOptions configures closeness centrality.
+type ClosenessOptions struct {
+	// Workers bounds parallelism; <= 0 means par.Workers().
+	Workers int
+	// Sources, when non-nil, computes closeness only for these
+	// vertices (the remaining entries are 0).
+	Sources []int32
+}
+
+// Closeness computes closeness centrality CC(v) = 1 / sum_u d(v, u) on
+// an unweighted graph, running one BFS per requested vertex with
+// coarse-grained parallelism. Unreachable pairs are skipped (the
+// standard convention for disconnected graphs); isolated vertices get
+// score 0.
+func Closeness(g *graph.Graph, opt ClosenessOptions) []float64 {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	n := g.NumVertices()
+	sources := opt.Sources
+	if sources == nil {
+		sources = make([]int32, n)
+		for i := range sources {
+			sources[i] = int32(i)
+		}
+	}
+	out := make([]float64, n)
+	par.ForGuidedN(len(sources), 1, workers, func(i int) {
+		v := sources[i]
+		r := bfs.Serial(g, v, nil)
+		var total int64
+		for _, d := range r.Dist {
+			if d > 0 {
+				total += int64(d)
+			}
+		}
+		if total > 0 {
+			out[v] = 1 / float64(total)
+		}
+	})
+	return out
+}
+
+// TopKVertices returns the indices of the k largest scores in
+// descending order (ties toward the smaller index).
+func TopKVertices(scores []float64, k int) []int32 {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int32, len(scores))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	// Partial selection sort is fine for the small k used in analyses.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			si, sj := scores[idx[j]], scores[idx[best]]
+			if si > sj || (si == sj && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

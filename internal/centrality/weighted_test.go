@@ -1,0 +1,74 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+func TestWeightedBetweennessUnitWeightsMatchBFS(t *testing.T) {
+	// With all weights 1, weighted Brandes must equal the BFS variant.
+	base := generate.RMAT(150, 600, generate.DefaultRMAT(), 2)
+	edges := base.EdgeEndpoints()
+	for i := range edges {
+		edges[i].W = 1
+	}
+	g, _ := graph.Build(base.NumVertices(), edges, graph.BuildOptions{Weighted: true})
+	want := Betweenness(base, BetweennessOptions{ComputeVertex: true, ComputeEdge: true})
+	got := WeightedBetweenness(g, BetweennessOptions{ComputeVertex: true, ComputeEdge: true})
+	for v := range want.Vertex {
+		if math.Abs(want.Vertex[v]-got.Vertex[v]) > 1e-6 {
+			t.Fatalf("vertex %d: %g vs %g", v, got.Vertex[v], want.Vertex[v])
+		}
+	}
+	for e := range want.Edge {
+		if math.Abs(want.Edge[e]-got.Edge[e]) > 1e-6 {
+			t.Fatalf("edge %d: %g vs %g", e, got.Edge[e], want.Edge[e])
+		}
+	}
+}
+
+func TestWeightedBetweennessRespectsWeights(t *testing.T) {
+	// Square 0-1-2-3 with heavy direct edge 0-2: all 0..2 traffic
+	// takes the two-hop light paths, so the heavy edge carries nothing
+	// beyond being dominated.
+	g, _ := graph.Build(4, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1},
+		{U: 2, V: 3, W: 1}, {U: 3, V: 0, W: 1},
+		{U: 0, V: 2, W: 10},
+	}, graph.BuildOptions{Weighted: true})
+	s := WeightedBetweenness(g, BetweennessOptions{ComputeEdge: true})
+	if s.Edge[g.EdgeIDOf(0, 2)] != 0 {
+		t.Fatalf("dominated heavy edge has EBC %g, want 0", s.Edge[g.EdgeIDOf(0, 2)])
+	}
+	// Each light edge carries the pair of its endpoints plus half the
+	// split opposite-corner traffic, all > 0.
+	if s.Edge[g.EdgeIDOf(0, 1)] <= 0 {
+		t.Fatal("light edge should carry traffic")
+	}
+}
+
+func TestWeightedBetweennessTieSplitting(t *testing.T) {
+	// Two equal-weight parallel two-hop routes: dependencies split.
+	g, _ := graph.Build(4, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 3, W: 1},
+		{U: 0, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	}, graph.BuildOptions{Weighted: true})
+	s := WeightedBetweenness(g, BetweennessOptions{ComputeVertex: true})
+	if math.Abs(s.Vertex[1]-0.5) > 1e-9 || math.Abs(s.Vertex[2]-0.5) > 1e-9 {
+		t.Fatalf("tie split wrong: %v", s.Vertex)
+	}
+}
+
+func TestWeightedBetweennessFallbackUnweighted(t *testing.T) {
+	g := generate.Ring(10)
+	a := Betweenness(g, BetweennessOptions{ComputeVertex: true})
+	b := WeightedBetweenness(g, BetweennessOptions{ComputeVertex: true})
+	for v := range a.Vertex {
+		if a.Vertex[v] != b.Vertex[v] {
+			t.Fatal("fallback mismatch")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package community
+
+import "encoding/json"
+
+// Dendrogram records the sequence of clustering events (splits for
+// divisive algorithms, joins for agglomerative ones) together with the
+// modularity after each event, so the caller can inspect the whole
+// trajectory and extract the best clustering — step 9 of the paper's
+// Algorithm 1 ("inspect the dendrogram, set C to the clustering with
+// the highest modularity score").
+type Dendrogram struct {
+	Events []DendrogramEvent
+	// BestQ and BestStep identify the maximum-modularity event.
+	BestQ    float64
+	BestStep int
+	// bestAssign is a snapshot of the assignment at the best event.
+	bestAssign []int32
+	bestCount  int
+}
+
+// DendrogramEvent is one split or join.
+type DendrogramEvent struct {
+	// Step is the iteration number.
+	Step int
+	// Join reports a merge (agglomerative); false means a split.
+	Join bool
+	// A and B are the community ids involved: for a join, the merged
+	// pair; for a split, A is the community that split and B the new
+	// community created.
+	A, B int32
+	// EdgeID is the removed edge for divisive splits (-1 otherwise).
+	EdgeID int32
+	// Clusters is the number of communities after the event.
+	Clusters int
+	// Q is the modularity after the event.
+	Q float64
+}
+
+// NewDendrogram returns an empty dendrogram with a starting snapshot.
+func NewDendrogram(assign []int32, count int, q float64) *Dendrogram {
+	d := &Dendrogram{BestQ: q, BestStep: -1}
+	d.snapshot(assign, count)
+	return d
+}
+
+// Record appends an event, snapshotting the assignment whenever the
+// modularity reaches a new maximum.
+func (d *Dendrogram) Record(ev DendrogramEvent, assign []int32, count int) {
+	d.Events = append(d.Events, ev)
+	if ev.Q > d.BestQ {
+		d.BestQ = ev.Q
+		d.BestStep = ev.Step
+		d.snapshot(assign, count)
+	}
+}
+
+func (d *Dendrogram) snapshot(assign []int32, count int) {
+	if cap(d.bestAssign) < len(assign) {
+		d.bestAssign = make([]int32, len(assign))
+	}
+	d.bestAssign = d.bestAssign[:len(assign)]
+	copy(d.bestAssign, assign)
+	d.bestCount = count
+}
+
+// Best returns the maximum-modularity clustering seen (with dense ids).
+func (d *Dendrogram) Best() Clustering {
+	remap := make(map[int32]int32, d.bestCount)
+	assign := make([]int32, len(d.bestAssign))
+	for v, l := range d.bestAssign {
+		id, ok := remap[l]
+		if !ok {
+			id = int32(len(remap))
+			remap[l] = id
+		}
+		assign[v] = id
+	}
+	return Clustering{Assign: assign, Count: len(remap), Q: d.BestQ}
+}
+
+// Len reports the number of recorded events.
+func (d *Dendrogram) Len() int { return len(d.Events) }
+
+// MarshalJSON serializes the dendrogram events and best-step summary
+// so CLI tools can export clustering trajectories for inspection.
+func (d *Dendrogram) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		BestQ    float64           `json:"best_q"`
+		BestStep int               `json:"best_step"`
+		Events   []DendrogramEvent `json:"events"`
+	}
+	return json.Marshal(alias{BestQ: d.BestQ, BestStep: d.BestStep, Events: d.Events})
+}

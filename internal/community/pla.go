@@ -1,0 +1,303 @@
+package community
+
+import (
+	"math/rand"
+	"sort"
+
+	"snap/internal/components"
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// LocalMetric selects the local measure pLA uses to pick which
+// neighboring cluster a seed vertex tries to join (the paper suggests
+// degree or clustering coefficient).
+type LocalMetric int
+
+const (
+	// MetricDegree attaches seeds toward their highest-degree neighbor.
+	MetricDegree LocalMetric = iota
+	// MetricClusteringCoeff attaches seeds toward the neighbor with
+	// the highest local clustering coefficient.
+	MetricClusteringCoeff
+)
+
+// PLAOptions configures the greedy local aggregation algorithm
+// (Algorithm 3 of the paper).
+type PLAOptions struct {
+	// Workers bounds parallelism; <= 0 means par.Workers(). Distinct
+	// connected components (after bridge removal) aggregate
+	// concurrently — the paper's relaxation of global synchronization.
+	Workers int
+	// Metric is the local attachment measure.
+	Metric LocalMetric
+	// MaxPasses bounds the number of aggregation sweeps per component
+	// (each pass visits every vertex once in random order). 0 => 8.
+	MaxPasses int
+	// Seed makes the random seed-vertex ordering deterministic.
+	Seed int64
+}
+
+// PLA is the parallel greedy local aggregation clustering algorithm
+// (pLA): bridges are removed via biconnected components, the remaining
+// components are aggregated concurrently using a local metric with a
+// modularity acceptance test, and finally the per-component clusters
+// are amalgamated across the removed bridges when that improves
+// modularity.
+func PLA(g *graph.Graph, opt PLAOptions) Clustering {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 8
+	}
+	n := g.NumVertices()
+	mEdges := g.NumEdges()
+	if n == 0 {
+		return Clustering{Assign: nil, Count: 0, Q: 0}
+	}
+	if mEdges == 0 {
+		return Singletons(g)
+	}
+
+	// Steps 1–2: remove bridges, split into components.
+	bc := components.Biconnected(g)
+	alive := make([]bool, mEdges)
+	for i := range alive {
+		alive[i] = !bc.Bridge[i]
+	}
+	lab := components.Connected(g, alive)
+	comps := lab.Members()
+
+	st := &plaState{
+		g:      g,
+		m:      float64(mEdges),
+		assign: make([]int32, n),
+		degsum: make([]int64, n),
+		member: make([][]int32, n),
+		// During the concurrent per-component phase, bridge arcs are
+		// masked so no worker ever reads another component's state
+		// (bridges are exactly the arcs that cross components here).
+		skipEdge: bc.Bridge,
+	}
+	for v := 0; v < n; v++ {
+		st.assign[v] = int32(v)
+		st.degsum[v] = int64(g.Degree(int32(v)))
+		st.member[v] = []int32{int32(v)}
+	}
+
+	// Precompute the local metric scores once.
+	var metric []float64
+	if opt.Metric == MetricClusteringCoeff {
+		metric = localClusteringScores(g, workers)
+	} else {
+		metric = make([]float64, n)
+		for v := 0; v < n; v++ {
+			metric[v] = float64(g.Degree(int32(v)))
+		}
+	}
+
+	// Step 3: aggregate each component concurrently. Components own
+	// disjoint vertex (and hence cluster-id) ranges, so no locking is
+	// needed across them.
+	par.ForGuidedN(len(comps), 1, workers, func(ci int) {
+		comp := comps[ci]
+		if len(comp) < 2 {
+			return
+		}
+		rng := rand.New(rand.NewSource(opt.Seed + int64(ci)*7919))
+		st.aggregate(comp, metric, opt.MaxPasses, rng)
+	})
+
+	// Top-level amalgamation (serial): bridges are visible again, and
+	// cluster pairs across them merge whenever modularity improves.
+	st.skipEdge = nil
+	for eid, e := range g.EdgeEndpoints() {
+		if !bc.Bridge[eid] {
+			continue
+		}
+		cu, cv := st.assign[e.U], st.assign[e.V]
+		if cu != cv {
+			st.tryMerge(cu, cv)
+		}
+	}
+
+	out := densify(g, st.assign, workers)
+	// Final greedy step: individual vertices keep being added to the
+	// cluster they fit best (single-vertex moves with a modularity
+	// acceptance test), correcting stragglers the cluster-level merges
+	// placed badly.
+	return Refine(g, out, 4, opt.Seed)
+}
+
+// plaCand is an adjacent-cluster merge candidate ranked first by the
+// seed's local affinity to the cluster (how many of its edges point
+// there — a purely local measure), then by the local metric of its
+// best contact vertex.
+type plaCand struct {
+	cluster  int32
+	contacts int
+	score    float64
+}
+
+func sortCandsByScore(cands []plaCand) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].contacts != cands[j].contacts {
+			return cands[i].contacts > cands[j].contacts
+		}
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].cluster < cands[j].cluster
+	})
+}
+
+// plaState is the shared cluster accounting for pLA. Cluster ids live
+// in vertex-id space; degsum/member are indexed by cluster id.
+type plaState struct {
+	g      *graph.Graph
+	m      float64
+	assign []int32
+	degsum []int64
+	member [][]int32
+	// skipEdge masks arcs (by edge id) that must not be scanned; nil
+	// means every arc is visible.
+	skipEdge []bool
+}
+
+// aggregate runs random-seed greedy aggregation passes over one
+// component until a pass makes no merge or the pass budget is spent.
+func (st *plaState) aggregate(comp []int32, metric []float64, maxPasses int, rng *rand.Rand) {
+	order := append([]int32(nil), comp...)
+	for pass := 0; pass < maxPasses; pass++ {
+		rng.Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+		merges := 0
+		for _, v := range order {
+			// Step 6: v is the random seed. Rank the adjacent
+			// clusters by the local metric of their best contact
+			// vertex, and greedily attempt merges in that order until
+			// one passes the modularity test (steps 7–8).
+			cv := st.assign[v]
+			var cands []plaCand
+			seen := map[int32]int{}
+			adj := st.g.Neighbors(v)
+			eids := st.g.EdgeIDs(v)
+			for ai, u := range adj {
+				if st.skipEdge != nil && st.skipEdge[eids[ai]] {
+					continue
+				}
+				cu := st.assign[u]
+				if cu == cv {
+					continue
+				}
+				if i, ok := seen[cu]; ok {
+					cands[i].contacts++
+					if metric[u] > cands[i].score {
+						cands[i].score = metric[u]
+					}
+					continue
+				}
+				seen[cu] = len(cands)
+				cands = append(cands, plaCand{cluster: cu, contacts: 1, score: metric[u]})
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			sortCandsByScore(cands)
+			tries := len(cands)
+			if tries > 4 {
+				tries = 4
+			}
+			for i := 0; i < tries; i++ {
+				if st.tryMerge(cv, cands[i].cluster) {
+					merges++
+					break
+				}
+			}
+		}
+		if merges == 0 {
+			break
+		}
+	}
+}
+
+// tryMerge merges clusters c and d when the modularity delta
+// m_cd/m − 2 a_c a_d is positive, reporting whether it merged.
+func (st *plaState) tryMerge(c, d int32) bool {
+	if c == d {
+		return false
+	}
+	// Count edges between c and d by scanning the smaller side.
+	small, other := c, d
+	if len(st.member[small]) > len(st.member[other]) {
+		small, other = other, small
+	}
+	var between int64
+	for _, v := range st.member[small] {
+		adj := st.g.Neighbors(v)
+		eids := st.g.EdgeIDs(v)
+		for ai, u := range adj {
+			if st.skipEdge != nil && st.skipEdge[eids[ai]] {
+				continue
+			}
+			if st.assign[u] == other {
+				between++
+			}
+		}
+	}
+	twoM := 2 * st.m
+	dq := float64(between)/st.m - 2*(float64(st.degsum[c])/twoM)*(float64(st.degsum[d])/twoM)
+	if dq <= 0 {
+		return false
+	}
+	// Fold small into other.
+	for _, v := range st.member[small] {
+		st.assign[v] = other
+	}
+	st.member[other] = append(st.member[other], st.member[small]...)
+	st.member[small] = nil
+	st.degsum[other] += st.degsum[small]
+	st.degsum[small] = 0
+	return true
+}
+
+// localClusteringScores computes local clustering coefficients without
+// importing the metrics package (which would be an upward dependency).
+func localClusteringScores(g *graph.Graph, workers int) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	par.ForGuidedN(n, 64, workers, func(vi int) {
+		v := int32(vi)
+		adj := g.Neighbors(v)
+		d := len(adj)
+		if d < 2 {
+			return
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			links += sortedCommon(g.Neighbors(adj[i]), adj[i+1:])
+		}
+		out[vi] = 2 * float64(links) / (float64(d) * float64(d-1))
+	})
+	return out
+}
+
+func sortedCommon(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

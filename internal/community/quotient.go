@@ -1,0 +1,237 @@
+package community
+
+import (
+	"sort"
+
+	"snap/internal/graph"
+)
+
+// Quotient contracts a clustering into its community graph: one vertex
+// per community, edge weights equal to the number of original edges
+// between the communities, and self-weights (intra-edge counts)
+// reported separately (the CSR form drops self-loops). The quotient is
+// the substrate of hierarchical community analysis and of the Louvain
+// comparison baseline.
+type Quotient struct {
+	// Graph is the weighted community graph (no self-loops).
+	Graph *graph.Graph
+	// Intra[c] is the number of original edges inside community c.
+	Intra []int64
+	// Size[c] is the number of original vertices in community c.
+	Size []int64
+	// DegSum[c] is the total original degree of community c.
+	DegSum []int64
+}
+
+// MakeQuotient builds the quotient of g under assign with dense
+// community ids in [0, count).
+func MakeQuotient(g *graph.Graph, assign []int32, count int) Quotient {
+	q := Quotient{
+		Intra:  make([]int64, count),
+		Size:   make([]int64, count),
+		DegSum: make([]int64, count),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		c := assign[v]
+		q.Size[c]++
+		q.DegSum[c] += int64(g.Degree(int32(v)))
+	}
+	type pair struct{ a, b int32 }
+	between := map[pair]float64{}
+	for _, e := range g.EdgeEndpoints() {
+		ca, cb := assign[e.U], assign[e.V]
+		if ca == cb {
+			q.Intra[ca]++
+			continue
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		between[pair{ca, cb}]++
+	}
+	edges := make([]graph.Edge, 0, len(between))
+	for p, w := range between {
+		edges = append(edges, graph.Edge{U: p.a, V: p.b, W: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	qg, err := graph.Build(count, edges, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		panic("community: quotient: " + err.Error())
+	}
+	q.Graph = qg
+	return q
+}
+
+// Louvain is the multilevel local-moving heuristic (Blondel et al.
+// 2008) — published the same year as the paper and since become the
+// standard fast modularity baseline; it is included for comparison
+// with pBD/pMA/pLA. Each level runs local moving to convergence on the
+// (weighted) quotient, then contracts communities and recurses.
+func Louvain(g *graph.Graph, maxLevels int, seed int64) Clustering {
+	if maxLevels <= 0 {
+		maxLevels = 16
+	}
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return Singletons(g)
+	}
+	// mapping[v] = community of original vertex v in the current level.
+	mapping := identity(n)
+	level := MakeQuotient(g, mapping, n)
+	for lv := 0; lv < maxLevels; lv++ {
+		qa, qc, improved := weightedLocalMove(level, seed+int64(lv))
+		if !improved {
+			break
+		}
+		for v := 0; v < n; v++ {
+			mapping[v] = qa[mapping[v]]
+		}
+		level = contractQuotient(level, qa, qc)
+		if level.Graph.NumVertices() <= 1 {
+			break
+		}
+	}
+	return densify(g, mapping, 0)
+}
+
+// contractQuotient merges the communities of a quotient into a coarser
+// quotient: sizes, degree sums, and intra weights aggregate, and the
+// surviving inter-community weights collapse.
+func contractQuotient(level Quotient, qa []int32, qc int) Quotient {
+	out := Quotient{
+		Intra:  make([]int64, qc),
+		Size:   make([]int64, qc),
+		DegSum: make([]int64, qc),
+	}
+	for v, c := range qa {
+		out.Size[c] += level.Size[v]
+		out.DegSum[c] += level.DegSum[v]
+		out.Intra[c] += level.Intra[v]
+	}
+	type pair struct{ a, b int32 }
+	between := map[pair]float64{}
+	for _, e := range level.Graph.EdgeEndpoints() {
+		ca, cb := qa[e.U], qa[e.V]
+		if ca == cb {
+			// A level edge of weight w is w original edges.
+			out.Intra[ca] += int64(e.W)
+			continue
+		}
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		between[pair{ca, cb}] += e.W
+	}
+	edges := make([]graph.Edge, 0, len(between))
+	for p, w := range between {
+		edges = append(edges, graph.Edge{U: p.a, V: p.b, W: w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	qg, err := graph.Build(qc, edges, graph.BuildOptions{Weighted: true})
+	if err != nil {
+		panic("community: contract: " + err.Error())
+	}
+	out.Graph = qg
+	return out
+}
+
+// weightedLocalMove runs modularity local moving on a weighted
+// quotient graph whose vertices carry intra-community self-weights.
+// Returns the new (dense) assignment, community count, and whether any
+// move improved modularity.
+func weightedLocalMove(q Quotient, seed int64) ([]int32, int, bool) {
+	qg := q.Graph
+	nq := qg.NumVertices()
+	// Total edge weight of the ORIGINAL graph: sum intra + inter.
+	var m float64
+	for _, w := range q.Intra {
+		m += float64(w)
+	}
+	m += qg.TotalWeight()
+	if m == 0 {
+		return identity(nq), nq, false
+	}
+	assign := identity(nq)
+	// Community degree sums start as the quotient vertices' own.
+	degsum := make([]float64, nq)
+	for c := 0; c < nq; c++ {
+		degsum[c] = float64(q.DegSum[c])
+	}
+	improvedAny := false
+	rngState := uint64(seed)*2862933555777941757 + 3037000493
+	order := make([]int32, nq)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	linksTo := map[int32]float64{}
+	for pass := 0; pass < 16; pass++ {
+		// Deterministic pseudo-shuffle.
+		for i := nq - 1; i > 0; i-- {
+			rngState = rngState*6364136223846793005 + 1442695040888963407
+			j := int(rngState % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		moves := 0
+		for _, v := range order {
+			cv := assign[v]
+			kv := float64(q.DegSum[v])
+			for k := range linksTo {
+				delete(linksTo, k)
+			}
+			lo, hi := qg.Offsets[v], qg.Offsets[v+1]
+			for a := lo; a < hi; a++ {
+				linksTo[assign[qg.Adj[a]]] += qg.W[a]
+			}
+			lcv := linksTo[cv]
+			bestD := cv
+			bestGain := 0.0
+			for d, ld := range linksTo {
+				if d == cv {
+					continue
+				}
+				gain := (ld-lcv)/m - kv*(degsum[d]-(degsum[cv]-kv))/(2*m*m)
+				if gain > bestGain || (gain == bestGain && gain > 0 && d < bestD) {
+					bestGain = gain
+					bestD = d
+				}
+			}
+			if bestD != cv && bestGain > 0 {
+				degsum[cv] -= kv
+				degsum[bestD] += kv
+				assign[v] = bestD
+				moves++
+				improvedAny = true
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	// Densify ids.
+	remap := map[int32]int32{}
+	for v, c := range assign {
+		if _, ok := remap[c]; !ok {
+			remap[c] = int32(len(remap))
+		}
+		assign[v] = remap[c]
+	}
+	return assign, len(remap), improvedAny
+}
+
+func identity(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

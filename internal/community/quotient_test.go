@@ -1,0 +1,97 @@
+package community
+
+import (
+	"math"
+	"testing"
+
+	"snap/internal/datasets"
+	"snap/internal/generate"
+)
+
+func TestMakeQuotientTwoTriangles(t *testing.T) {
+	g := twoTriangles(t)
+	q := MakeQuotient(g, []int32{0, 0, 0, 1, 1, 1}, 2)
+	if q.Graph.NumVertices() != 2 || q.Graph.NumEdges() != 1 {
+		t.Fatalf("quotient: %v", q.Graph)
+	}
+	if q.Intra[0] != 3 || q.Intra[1] != 3 {
+		t.Fatalf("intra = %v", q.Intra)
+	}
+	if q.Size[0] != 3 || q.Size[1] != 3 {
+		t.Fatalf("size = %v", q.Size)
+	}
+	if q.DegSum[0] != 7 || q.DegSum[1] != 7 {
+		t.Fatalf("degsum = %v", q.DegSum)
+	}
+	// The single quotient edge has weight 1 (the bridge).
+	if w := q.Graph.TotalWeight(); w != 1 {
+		t.Fatalf("quotient edge weight = %g", w)
+	}
+}
+
+func TestQuotientAccountingConsistency(t *testing.T) {
+	// Sum of intra + quotient weights must equal m; degsum and sizes
+	// must sum to 2m and n.
+	g := generate.RMAT(300, 1200, generate.DefaultRMAT(), 4)
+	pma, _ := PMA(g, PMAOptions{StopWhenNegative: true})
+	q := MakeQuotient(g, pma.Assign, pma.Count)
+	var intra int64
+	for _, w := range q.Intra {
+		intra += w
+	}
+	if got := float64(intra) + q.Graph.TotalWeight(); got != float64(g.NumEdges()) {
+		t.Fatalf("edge accounting: %g vs m=%d", got, g.NumEdges())
+	}
+	var size, degsum int64
+	for c := range q.Size {
+		size += q.Size[c]
+		degsum += q.DegSum[c]
+	}
+	if size != int64(g.NumVertices()) || degsum != int64(g.NumArcs()) {
+		t.Fatalf("size/degsum accounting: %d / %d", size, degsum)
+	}
+}
+
+func TestLouvainTwoTriangles(t *testing.T) {
+	g := twoTriangles(t)
+	c := Louvain(g, 0, 1)
+	want := 6.0/7.0 - 0.5
+	if c.Count != 2 || math.Abs(c.Q-want) > 1e-9 {
+		t.Fatalf("louvain: count=%d Q=%g, want 2 / %g", c.Count, c.Q, want)
+	}
+}
+
+func TestLouvainKarate(t *testing.T) {
+	g := datasets.Karate()
+	c := Louvain(g, 0, 1)
+	if c.Q < 0.40 {
+		t.Fatalf("louvain karate Q = %.4f, want >= 0.40", c.Q)
+	}
+	if q := Modularity(g, c.Assign, 1); math.Abs(q-c.Q) > 1e-9 {
+		t.Fatalf("reported Q %g != recomputed %g", c.Q, q)
+	}
+}
+
+func TestLouvainPlantedRecovery(t *testing.T) {
+	g, truth := generate.PlantedPartition(5, 40, 0.4, 0.005, 8)
+	c := Louvain(g, 0, 2)
+	truthQ := Modularity(g, truth, 1)
+	if c.Q < truthQ*0.95 {
+		t.Fatalf("louvain planted Q = %.3f, want >= 95%% of %.3f", c.Q, truthQ)
+	}
+	if v := NMI(truth, c.Assign); v < 0.9 {
+		t.Fatalf("louvain NMI = %.3f", v)
+	}
+}
+
+func TestLouvainAtLeastAsGoodAsPMAOnSurrogates(t *testing.T) {
+	// Louvain is the modern reference; it should match or beat CNM-
+	// style agglomeration on community-structured graphs.
+	net, _ := datasets.ByLabel("E-mail")
+	g := net.Build(0.5)
+	lv := Louvain(g, 0, 3)
+	pma, _ := PMA(g, PMAOptions{StopWhenNegative: true})
+	if lv.Q < pma.Q-0.05 {
+		t.Fatalf("louvain Q=%.3f clearly below pMA Q=%.3f", lv.Q, pma.Q)
+	}
+}

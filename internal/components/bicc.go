@@ -1,0 +1,159 @@
+package components
+
+import "snap/internal/graph"
+
+// BiCC is the result of biconnected-components decomposition.
+type BiCC struct {
+	// Articulation[v] reports whether v is an articulation (cut) point.
+	Articulation []bool
+	// Bridge[eid] reports whether the edge is a bridge (its removal
+	// disconnects its component). Bridges are the seed set of the
+	// pBD high-centrality heuristic and the pLA split step.
+	Bridge []bool
+	// EdgeComp maps each edge id to its biconnected-component id in
+	// [0, CompCount). Every edge belongs to exactly one biconnected
+	// component.
+	EdgeComp []int32
+	// CompCount is the number of biconnected components.
+	CompCount int
+}
+
+// Biconnected decomposes an undirected graph into biconnected
+// components using an iterative Hopcroft–Tarjan lowpoint DFS (iterative
+// so million-vertex small-world graphs cannot overflow the goroutine
+// stack). Directed graphs are treated as undirected.
+func Biconnected(g *graph.Graph) BiCC {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	res := BiCC{
+		Articulation: make([]bool, n),
+		Bridge:       make([]bool, m),
+		EdgeComp:     make([]int32, m),
+	}
+	for i := range res.EdgeComp {
+		res.EdgeComp[i] = -1
+	}
+
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parentEdge := make([]int32, n) // edge id used to reach v; -1 at roots
+	for i := range disc {
+		disc[i] = -1
+		parentEdge[i] = -1
+	}
+
+	// Explicit DFS stack: per-vertex arc cursor.
+	cursor := make([]int64, n)
+	stack := make([]int32, 0, 1024)     // vertex stack
+	edgeStack := make([]int32, 0, 1024) // tree/back edge ids, Tarjan's edge stack
+	var timer int32
+	var comp int32
+
+	for root := int32(0); int(root) < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		cursor[root] = g.Offsets[root]
+		stack = append(stack, root)
+		rootChildren := 0
+
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if cursor[v] < g.Offsets[v+1] {
+				a := cursor[v]
+				cursor[v]++
+				u := g.Adj[a]
+				eid := g.EID[a]
+				if eid == parentEdge[v] {
+					continue // don't traverse the tree edge back up
+				}
+				if disc[u] == -1 {
+					// Tree edge.
+					if v == root {
+						rootChildren++
+					}
+					parentEdge[u] = eid
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					cursor[u] = g.Offsets[u]
+					edgeStack = append(edgeStack, eid)
+					stack = append(stack, u)
+				} else if disc[u] < disc[v] {
+					// Back edge to an ancestor (or cross within the
+					// DFS of an undirected graph, which cannot occur).
+					edgeStack = append(edgeStack, eid)
+					if disc[u] < low[v] {
+						low[v] = disc[u]
+					}
+				}
+			} else {
+				// Retreat from v to its parent.
+				stack = stack[:len(stack)-1]
+				if len(stack) == 0 {
+					break
+				}
+				p := stack[len(stack)-1]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= disc[p] {
+					// p is an articulation point (unless it is the
+					// root, handled below); pop one biconnected
+					// component ending at the tree edge p—v.
+					if p != root {
+						res.Articulation[p] = true
+					}
+					te := parentEdge[v]
+					compSize := 0
+					for {
+						if len(edgeStack) == 0 {
+							break
+						}
+						e := edgeStack[len(edgeStack)-1]
+						edgeStack = edgeStack[:len(edgeStack)-1]
+						res.EdgeComp[e] = comp
+						compSize++
+						if e == te {
+							break
+						}
+					}
+					if compSize == 1 {
+						res.Bridge[te] = true
+					}
+					comp++
+				}
+			}
+		}
+		if rootChildren >= 2 {
+			res.Articulation[root] = true
+		}
+	}
+	res.CompCount = int(comp)
+	return res
+}
+
+// Bridges returns the edge ids of all bridges.
+func (b BiCC) Bridges() []int32 {
+	var out []int32
+	for eid, isB := range b.Bridge {
+		if isB {
+			out = append(out, int32(eid))
+		}
+	}
+	return out
+}
+
+// ArticulationPoints returns the vertex ids of all articulation points.
+func (b BiCC) ArticulationPoints() []int32 {
+	var out []int32
+	for v, is := range b.Articulation {
+		if is {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

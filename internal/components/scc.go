@@ -1,0 +1,120 @@
+package components
+
+import "snap/internal/graph"
+
+// StronglyConnected computes the strongly connected components of a
+// directed graph with an iterative Tarjan algorithm (explicit stack, so
+// web-scale crawls like NDwww cannot overflow the goroutine stack).
+// For undirected graphs it degenerates to connected components.
+// Component ids are dense in [0, Count) in reverse topological order
+// of the condensation (a vertex's component id is always >= those of
+// the components it can reach... specifically Tarjan emits sinks
+// first).
+func StronglyConnected(g *graph.Graph) Labeling {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32   // Tarjan's component stack
+	var count int32     // next component id
+	var nextIndex int32 // DFS preorder counter
+
+	// Explicit DFS state.
+	type frame struct {
+		v   int32
+		arc int64
+	}
+	var dfs []frame
+	cursorEnd := func(v int32) int64 { return g.Offsets[v+1] }
+
+	for root := int32(0); int(root) < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root, arc: g.Offsets[root]})
+		index[root] = nextIndex
+		low[root] = nextIndex
+		nextIndex++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.arc < cursorEnd(v) {
+				u := g.Adj[f.arc]
+				f.arc++
+				if index[u] == -1 {
+					// Tree arc: descend.
+					index[u] = nextIndex
+					low[u] = nextIndex
+					nextIndex++
+					stack = append(stack, u)
+					onStack[u] = true
+					dfs = append(dfs, frame{v: u, arc: g.Offsets[u]})
+				} else if onStack[u] && index[u] < low[v] {
+					low[v] = index[u]
+				}
+				continue
+			}
+			// Retreat.
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// v is an SCC root: pop its component.
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return Labeling{Comp: comp, Count: int(count)}
+}
+
+// Condensation builds the DAG of strongly connected components: one
+// vertex per SCC, a (directed) edge for every pair of SCCs joined by
+// at least one original arc.
+func Condensation(g *graph.Graph, scc Labeling) *graph.Graph {
+	type pair struct{ a, b int32 }
+	seen := map[pair]bool{}
+	var edges []graph.Edge
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		cv := scc.Comp[v]
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for a := lo; a < hi; a++ {
+			cu := scc.Comp[g.Adj[a]]
+			if cu == cv {
+				continue
+			}
+			p := pair{cv, cu}
+			if !seen[p] {
+				seen[p] = true
+				edges = append(edges, graph.Edge{U: cv, V: cu, W: 1})
+			}
+		}
+	}
+	out, err := graph.Build(scc.Count, edges, graph.BuildOptions{Directed: true})
+	if err != nil {
+		panic("components: condensation: " + err.Error())
+	}
+	return out
+}

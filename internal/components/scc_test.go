@@ -1,0 +1,146 @@
+package components
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+func digraph(t *testing.T, n int, arcs [][2]int32) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, len(arcs))
+	for i, a := range arcs {
+		edges[i] = graph.Edge{U: a[0], V: a[1]}
+	}
+	g, err := graph.Build(n, edges, graph.BuildOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSCCTwoCyclesAndBridgeArc(t *testing.T) {
+	// Cycle {0,1,2} -> cycle {3,4}; plus isolated 5.
+	g := digraph(t, 6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 0},
+		{2, 3},
+		{3, 4}, {4, 3},
+	})
+	scc := StronglyConnected(g)
+	if scc.Count != 3 {
+		t.Fatalf("count = %d, want 3", scc.Count)
+	}
+	if scc.Comp[0] != scc.Comp[1] || scc.Comp[1] != scc.Comp[2] {
+		t.Fatal("first cycle split")
+	}
+	if scc.Comp[3] != scc.Comp[4] {
+		t.Fatal("second cycle split")
+	}
+	if scc.Comp[0] == scc.Comp[3] || scc.Comp[0] == scc.Comp[5] {
+		t.Fatal("distinct SCCs merged")
+	}
+	// Tarjan emits sinks first: {3,4} is downstream of {0,1,2}.
+	if !(scc.Comp[3] < scc.Comp[0]) {
+		t.Fatalf("reverse topological order violated: %v", scc.Comp)
+	}
+}
+
+func TestSCCDirectedPathIsAllSingletons(t *testing.T) {
+	g := digraph(t, 5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	scc := StronglyConnected(g)
+	if scc.Count != 5 {
+		t.Fatalf("count = %d, want 5", scc.Count)
+	}
+}
+
+func TestSCCDirectedCycleIsOne(t *testing.T) {
+	g := digraph(t, 6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	scc := StronglyConnected(g)
+	if scc.Count != 1 {
+		t.Fatalf("count = %d, want 1", scc.Count)
+	}
+}
+
+// sccOracle: u,v strongly connected iff v reachable from u AND u from v.
+func sccOracle(g *graph.Graph) [][]bool {
+	n := g.NumVertices()
+	reach := make([][]bool, n)
+	for s := int32(0); int(s) < n; s++ {
+		r := make([]bool, n)
+		queue := []int32{s}
+		r[s] = true
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			for a := lo; a < hi; a++ {
+				u := g.Adj[a]
+				if !r[u] {
+					r[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		reach[s] = r
+	}
+	return reach
+}
+
+func TestQuickSCCMatchesReachabilityOracle(t *testing.T) {
+	check := func(raw []uint16) bool {
+		n := 20
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw) && i < 80; i += 2 {
+			u := int32(raw[i] % uint16(n))
+			v := int32(raw[i+1] % uint16(n))
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		g, err := graph.Build(n, edges, graph.BuildOptions{Directed: true})
+		if err != nil {
+			return false
+		}
+		scc := StronglyConnected(g)
+		reach := sccOracle(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := scc.Comp[u] == scc.Comp[v]
+				mutual := reach[u][v] && reach[v][u]
+				if same != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondensationIsDAG(t *testing.T) {
+	g := digraph(t, 6, [][2]int32{
+		{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {3, 4}, {4, 5}, {5, 4},
+	})
+	scc := StronglyConnected(g)
+	dag := Condensation(g, scc)
+	if dag.NumVertices() != scc.Count {
+		t.Fatalf("condensation size %d", dag.NumVertices())
+	}
+	// A DAG has all-singleton SCCs.
+	inner := StronglyConnected(dag)
+	if inner.Count != dag.NumVertices() {
+		t.Fatal("condensation contains a cycle")
+	}
+}
+
+func TestSCCOnUndirectedEqualsConnected(t *testing.T) {
+	g := generate.ErdosRenyi(100, 150, 5)
+	want := Connected(g, nil)
+	got := StronglyConnected(g)
+	if !sameLabeling(want, got) {
+		t.Fatalf("undirected SCC differs from CC: %d vs %d", got.Count, want.Count)
+	}
+}

@@ -1,0 +1,155 @@
+package datasets
+
+import (
+	"testing"
+
+	"snap/internal/community"
+	"snap/internal/graph"
+)
+
+func TestKarateExactSizes(t *testing.T) {
+	g := Karate()
+	if g.NumVertices() != 34 || g.NumEdges() != 78 {
+		t.Fatalf("karate n=%d m=%d, want 34/78", g.NumVertices(), g.NumEdges())
+	}
+	if err := graph.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Known degrees: the instructor (0) has 16, the president (33) 17.
+	if g.Degree(0) != 16 || g.Degree(33) != 17 {
+		t.Fatalf("degrees(0, 33) = %d, %d; want 16, 17", g.Degree(0), g.Degree(33))
+	}
+}
+
+func TestKarateGroundTruthSplitQuality(t *testing.T) {
+	// The observed faction split has Q ~ 0.3715 (standard result).
+	g := Karate()
+	faction1 := map[int32]bool{
+		0: true, 1: true, 2: true, 3: true, 4: true, 5: true, 6: true,
+		7: true, 10: true, 11: true, 12: true, 13: true, 16: true,
+		17: true, 19: true, 21: true,
+	}
+	assign := make([]int32, 34)
+	for v := int32(0); v < 34; v++ {
+		if faction1[v] {
+			assign[v] = 0
+		} else {
+			assign[v] = 1
+		}
+	}
+	q := community.Modularity(g, assign, 1)
+	if q < 0.35 || q > 0.39 {
+		t.Fatalf("faction split Q = %.4f, want ~0.3715", q)
+	}
+}
+
+func TestSurrogateMatchesRequestedSizes(t *testing.T) {
+	g, truth := Surrogate(SurrogateParams{
+		N: 500, M: 2000, Communities: 5, IntraFrac: 0.7, Skew: 0.5, Seed: 1,
+	})
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Edge count should land within a few percent of target.
+	if g.NumEdges() < 1900 || g.NumEdges() > 2000 {
+		t.Fatalf("m = %d, want ~2000", g.NumEdges())
+	}
+	if len(truth) != 500 {
+		t.Fatal("truth size")
+	}
+	// Planted structure must be recoverable with decent modularity.
+	q := community.Modularity(g, truth, 1)
+	if q < 0.4 {
+		t.Fatalf("planted Q = %.3f, want >= 0.4", q)
+	}
+}
+
+func TestSurrogateDeterministic(t *testing.T) {
+	p := SurrogateParams{N: 200, M: 800, Communities: 4, IntraFrac: 0.7, Seed: 9}
+	g1, _ := Surrogate(p)
+	g2, _ := Surrogate(p)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("surrogate not deterministic")
+	}
+	for v := int32(0); int(v) < g1.NumVertices(); v++ {
+		a, b := g1.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree differs at %d", v)
+		}
+	}
+}
+
+func TestTable2CatalogComplete(t *testing.T) {
+	nets := Table2()
+	if len(nets) != 6 {
+		t.Fatalf("Table2 has %d networks, want 6", len(nets))
+	}
+	wantN := map[string]int{
+		"Karate": 34, "Political books": 105, "Jazz musicians": 198,
+		"Metabolic": 453, "E-mail": 1133, "Key signing": 10680,
+	}
+	for _, net := range nets {
+		if wantN[net.Label] != net.PaperN {
+			t.Fatalf("%s: paper n = %d, want %d", net.Label, net.PaperN, wantN[net.Label])
+		}
+		if net.BestKnownQ <= 0 || net.GNQ <= 0 {
+			t.Fatalf("%s: missing paper scores", net.Label)
+		}
+		g := net.Build(0.25)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty build", net.Label)
+		}
+		if err := graph.Validate(g); err != nil {
+			t.Fatalf("%s: %v", net.Label, err)
+		}
+	}
+}
+
+func TestTable2SurrogatesReachPaperQBand(t *testing.T) {
+	// At full scale, pMA on each surrogate should land within a
+	// sensible distance of the paper's pMA score — this is the knob
+	// check for the tuned IntraFrac values. Skip the two largest in
+	// short mode.
+	for _, net := range Table2() {
+		if testing.Short() && net.PaperN > 500 {
+			continue
+		}
+		g := net.Build(1)
+		got, _ := community.PMA(g, community.PMAOptions{StopWhenNegative: true})
+		if got.Q < net.PMAQ-0.15 {
+			t.Fatalf("%s: pMA Q = %.3f, paper %.3f — surrogate mistuned", net.Label, got.Q, net.PMAQ)
+		}
+	}
+}
+
+func TestTable3CatalogComplete(t *testing.T) {
+	nets := Table3()
+	if len(nets) != 6 {
+		t.Fatalf("Table3 has %d networks, want 6", len(nets))
+	}
+	labels := map[string]bool{}
+	for _, net := range nets {
+		labels[net.Label] = true
+		g := net.Build(0.02)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty build at scale 0.02", net.Label)
+		}
+	}
+	for _, want := range []string{"PPI", "Citations", "DBLP", "NDwww", "Actor", "RMAT-SF"} {
+		if !labels[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	if _, err := ByLabel("Karate"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByLabel("PPI"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByLabel("nope"); err == nil {
+		t.Fatal("want error for unknown label")
+	}
+}

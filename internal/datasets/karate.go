@@ -1,0 +1,40 @@
+// Package datasets provides the networks of the paper's experimental
+// study. Zachary's karate club — tiny and in the public domain — is
+// embedded verbatim. The other real-world data sets (Political books,
+// Jazz musicians, C. elegans metabolic, URV e-mail, PGP key-signing,
+// human PPI, KDD citations, DBLP, NDwww, IMDB Actor) cannot be
+// redistributed here, so each is replaced by a deterministic synthetic
+// surrogate matched on vertex count, edge count, degree skew, and
+// planted community strength (chosen so the best-known modularity of
+// the surrogate is close to the paper's reported best-known value).
+// See DESIGN.md §4 for the substitution rationale.
+package datasets
+
+import "snap/internal/graph"
+
+// karateEdges is Zachary's karate club (34 vertices, 78 edges),
+// 0-indexed, as published in Zachary (1977).
+var karateEdges = [][2]int32{
+	{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8},
+	{0, 10}, {0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21},
+	{0, 31}, {1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19},
+	{1, 21}, {1, 30}, {2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13},
+	{2, 27}, {2, 28}, {2, 32}, {3, 7}, {3, 12}, {3, 13}, {4, 6},
+	{4, 10}, {5, 6}, {5, 10}, {5, 16}, {6, 16}, {8, 30}, {8, 32},
+	{8, 33}, {9, 33}, {13, 33}, {14, 32}, {14, 33}, {15, 32},
+	{15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33},
+	{22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32},
+	{23, 33}, {24, 25}, {24, 27}, {24, 31}, {25, 31}, {26, 29},
+	{26, 33}, {27, 33}, {28, 31}, {28, 33}, {29, 32}, {29, 33},
+	{30, 32}, {30, 33}, {31, 32}, {31, 33}, {32, 33},
+}
+
+// Karate returns Zachary's karate club network (n=34, m=78), the
+// classic community-detection benchmark of the paper's Table 2.
+func Karate() *graph.Graph {
+	edges := make([]graph.Edge, len(karateEdges))
+	for i, e := range karateEdges {
+		edges[i] = graph.Edge{U: e[0], V: e[1], W: 1}
+	}
+	return graph.MustBuild(34, edges, graph.BuildOptions{})
+}

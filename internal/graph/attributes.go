@@ -1,0 +1,209 @@
+package graph
+
+import "fmt"
+
+// Attribute tables: the paper's interaction-data model allows vertices
+// and edges to be "typed, classified, or assigned attributes based on
+// relational information". Attributes is a typed side table keyed by
+// vertex or edge id, kept separate from the CSR so analysis kernels
+// stay allocation-lean.
+
+// Attributes stores named vertex and edge attribute columns for one
+// graph. The zero value is not ready; use NewAttributes.
+type Attributes struct {
+	n, m    int
+	vString map[string][]string
+	vFloat  map[string][]float64
+	vInt    map[string][]int64
+	eString map[string][]string
+	eFloat  map[string][]float64
+	eInt    map[string][]int64
+}
+
+// NewAttributes returns an empty attribute table for g.
+func NewAttributes(g *Graph) *Attributes {
+	return &Attributes{
+		n:       g.NumVertices(),
+		m:       g.NumEdges(),
+		vString: map[string][]string{},
+		vFloat:  map[string][]float64{},
+		vInt:    map[string][]int64{},
+		eString: map[string][]string{},
+		eFloat:  map[string][]float64{},
+		eInt:    map[string][]int64{},
+	}
+}
+
+func (a *Attributes) checkVertex(v int32) error {
+	if v < 0 || int(v) >= a.n {
+		return fmt.Errorf("graph: attribute vertex %d out of range [0,%d)", v, a.n)
+	}
+	return nil
+}
+
+func (a *Attributes) checkEdge(e int32) error {
+	if e < 0 || int(e) >= a.m {
+		return fmt.Errorf("graph: attribute edge %d out of range [0,%d)", e, a.m)
+	}
+	return nil
+}
+
+// SetVertexString sets a string attribute of a vertex, creating the
+// column on first use.
+func (a *Attributes) SetVertexString(name string, v int32, val string) error {
+	if err := a.checkVertex(v); err != nil {
+		return err
+	}
+	col, ok := a.vString[name]
+	if !ok {
+		col = make([]string, a.n)
+		a.vString[name] = col
+	}
+	col[v] = val
+	return nil
+}
+
+// VertexString reads a string attribute (zero value when unset).
+func (a *Attributes) VertexString(name string, v int32) string {
+	if col, ok := a.vString[name]; ok && int(v) < len(col) && v >= 0 {
+		return col[v]
+	}
+	return ""
+}
+
+// SetVertexFloat sets a float attribute of a vertex.
+func (a *Attributes) SetVertexFloat(name string, v int32, val float64) error {
+	if err := a.checkVertex(v); err != nil {
+		return err
+	}
+	col, ok := a.vFloat[name]
+	if !ok {
+		col = make([]float64, a.n)
+		a.vFloat[name] = col
+	}
+	col[v] = val
+	return nil
+}
+
+// VertexFloat reads a float attribute (0 when unset).
+func (a *Attributes) VertexFloat(name string, v int32) float64 {
+	if col, ok := a.vFloat[name]; ok && int(v) < len(col) && v >= 0 {
+		return col[v]
+	}
+	return 0
+}
+
+// SetVertexInt sets an integer attribute of a vertex.
+func (a *Attributes) SetVertexInt(name string, v int32, val int64) error {
+	if err := a.checkVertex(v); err != nil {
+		return err
+	}
+	col, ok := a.vInt[name]
+	if !ok {
+		col = make([]int64, a.n)
+		a.vInt[name] = col
+	}
+	col[v] = val
+	return nil
+}
+
+// VertexInt reads an integer attribute (0 when unset).
+func (a *Attributes) VertexInt(name string, v int32) int64 {
+	if col, ok := a.vInt[name]; ok && int(v) < len(col) && v >= 0 {
+		return col[v]
+	}
+	return 0
+}
+
+// SetEdgeString sets a string attribute of an edge.
+func (a *Attributes) SetEdgeString(name string, e int32, val string) error {
+	if err := a.checkEdge(e); err != nil {
+		return err
+	}
+	col, ok := a.eString[name]
+	if !ok {
+		col = make([]string, a.m)
+		a.eString[name] = col
+	}
+	col[e] = val
+	return nil
+}
+
+// EdgeString reads a string attribute of an edge.
+func (a *Attributes) EdgeString(name string, e int32) string {
+	if col, ok := a.eString[name]; ok && int(e) < len(col) && e >= 0 {
+		return col[e]
+	}
+	return ""
+}
+
+// SetEdgeFloat sets a float attribute of an edge.
+func (a *Attributes) SetEdgeFloat(name string, e int32, val float64) error {
+	if err := a.checkEdge(e); err != nil {
+		return err
+	}
+	col, ok := a.eFloat[name]
+	if !ok {
+		col = make([]float64, a.m)
+		a.eFloat[name] = col
+	}
+	col[e] = val
+	return nil
+}
+
+// EdgeFloat reads a float attribute of an edge.
+func (a *Attributes) EdgeFloat(name string, e int32) float64 {
+	if col, ok := a.eFloat[name]; ok && int(e) < len(col) && e >= 0 {
+		return col[e]
+	}
+	return 0
+}
+
+// SetEdgeInt sets an integer attribute of an edge.
+func (a *Attributes) SetEdgeInt(name string, e int32, val int64) error {
+	if err := a.checkEdge(e); err != nil {
+		return err
+	}
+	col, ok := a.eInt[name]
+	if !ok {
+		col = make([]int64, a.m)
+		a.eInt[name] = col
+	}
+	col[e] = val
+	return nil
+}
+
+// EdgeInt reads an integer attribute of an edge.
+func (a *Attributes) EdgeInt(name string, e int32) int64 {
+	if col, ok := a.eInt[name]; ok && int(e) < len(col) && e >= 0 {
+		return col[e]
+	}
+	return 0
+}
+
+// VertexColumns lists the defined vertex attribute names by kind.
+func (a *Attributes) VertexColumns() (strings, floats, ints []string) {
+	for k := range a.vString {
+		strings = append(strings, k)
+	}
+	for k := range a.vFloat {
+		floats = append(floats, k)
+	}
+	for k := range a.vInt {
+		ints = append(ints, k)
+	}
+	return
+}
+
+// SelectVertices returns the vertices for which pred holds, given
+// access to the attribute table — the building block for typed
+// subgraph extraction (combine with InducedSubgraph).
+func (a *Attributes) SelectVertices(pred func(v int32) bool) []int32 {
+	var out []int32
+	for v := int32(0); int(v) < a.n; v++ {
+		if pred(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuildOptions controls CSR construction.
+type BuildOptions struct {
+	// Directed selects directed arcs; otherwise each input edge is
+	// stored as two arcs sharing an edge id.
+	Directed bool
+	// Weighted keeps per-edge weights; otherwise weights are dropped
+	// and the graph is unweighted (weight 1).
+	Weighted bool
+	// AllowSelfLoops keeps edges with U == V; by default they are
+	// silently dropped (SNA metrics assume simple graphs).
+	AllowSelfLoops bool
+	// AllowMulti keeps parallel edges; by default duplicates (same
+	// endpoint pair) collapse to one edge, keeping the first weight.
+	AllowMulti bool
+}
+
+// Build constructs a CSR graph with n vertices from edges.
+// Endpoints outside [0, n) are an error.
+func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	clean := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V && !opt.AllowSelfLoops {
+			continue
+		}
+		if !opt.Directed && e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		clean = append(clean, e)
+	}
+	if !opt.AllowMulti {
+		sort.Slice(clean, func(i, j int) bool {
+			if clean[i].U != clean[j].U {
+				return clean[i].U < clean[j].U
+			}
+			return clean[i].V < clean[j].V
+		})
+		dedup := clean[:0]
+		for i, e := range clean {
+			if i > 0 && e.U == dedup[len(dedup)-1].U && e.V == dedup[len(dedup)-1].V {
+				continue
+			}
+			dedup = append(dedup, e)
+		}
+		clean = dedup
+	}
+	m := len(clean)
+
+	// Count arcs per vertex.
+	deg := make([]int64, n)
+	for _, e := range clean {
+		deg[e.U]++
+		if !opt.Directed {
+			deg[e.V]++
+		}
+	}
+	offsets := make([]int64, n+1)
+	var acc int64
+	for v := 0; v < n; v++ {
+		offsets[v] = acc
+		acc += deg[v]
+	}
+	offsets[n] = acc
+
+	adj := make([]int32, acc)
+	eid := make([]int32, acc)
+	var w []float64
+	if opt.Weighted {
+		w = make([]float64, acc)
+	}
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	place := func(u, v int32, id int32, wt float64) {
+		c := cursor[u]
+		adj[c] = v
+		eid[c] = id
+		if w != nil {
+			w[c] = wt
+		}
+		cursor[u] = c + 1
+	}
+	for i, e := range clean {
+		place(e.U, e.V, int32(i), e.W)
+		if !opt.Directed {
+			place(e.V, e.U, int32(i), e.W)
+		}
+	}
+
+	g := &Graph{
+		Offsets:  offsets,
+		Adj:      adj,
+		EID:      eid,
+		W:        w,
+		directed: opt.Directed,
+		numEdges: m,
+	}
+	g.sortAdjacencies()
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests, embedded
+// datasets, and generators whose inputs are valid by construction.
+func MustBuild(n int, edges []Edge, opt BuildOptions) *Graph {
+	g, err := Build(n, edges, opt)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortAdjacencies sorts each vertex's arcs by neighbor id, carrying the
+// parallel EID and W entries along.
+func (g *Graph) sortAdjacencies() {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		s := arcSorter{g: g, lo: lo, n: int(hi - lo)}
+		sort.Sort(s)
+	}
+}
+
+type arcSorter struct {
+	g  *Graph
+	lo int64
+	n  int
+}
+
+func (s arcSorter) Len() int { return s.n }
+func (s arcSorter) Less(i, j int) bool {
+	return s.g.Adj[s.lo+int64(i)] < s.g.Adj[s.lo+int64(j)]
+}
+func (s arcSorter) Swap(i, j int) {
+	a, b := s.lo+int64(i), s.lo+int64(j)
+	g := s.g
+	g.Adj[a], g.Adj[b] = g.Adj[b], g.Adj[a]
+	g.EID[a], g.EID[b] = g.EID[b], g.EID[a]
+	if g.W != nil {
+		g.W[a], g.W[b] = g.W[b], g.W[a]
+	}
+}
+
+// Undirected returns g if it is already undirected, or a symmetrized
+// copy obtained by ignoring arc directions (the paper's treatment of
+// directed inputs in community detection: "we ignore edge directivity").
+func Undirected(g *Graph) *Graph {
+	if !g.directed {
+		return g
+	}
+	edges := g.EdgeEndpoints()
+	opt := BuildOptions{Directed: false, Weighted: g.Weighted()}
+	out, err := Build(g.NumVertices(), edges, opt)
+	if err != nil {
+		panic("graph: symmetrize: " + err.Error())
+	}
+	return out
+}

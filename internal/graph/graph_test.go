@@ -1,0 +1,409 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(3, []Edge{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildTriangle(t *testing.T) {
+	g := triangle(t)
+	if g.NumVertices() != 3 || g.NumEdges() != 3 || g.NumArcs() != 6 {
+		t.Fatalf("sizes wrong: %v", g)
+	}
+	for v := int32(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDropsSelfLoopsAndDuplicates(t *testing.T) {
+	g, err := Build(3, []Edge{{0, 1, 1}, {1, 0, 1}, {2, 2, 1}, {0, 1, 1}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (dedup + self-loop drop)", g.NumEdges())
+	}
+}
+
+func TestBuildAllowMulti(t *testing.T) {
+	g, err := Build(2, []Edge{{0, 1, 1}, {0, 1, 1}}, BuildOptions{AllowMulti: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 with AllowMulti", g.NumEdges())
+	}
+}
+
+func TestBuildRejectsOutOfRange(t *testing.T) {
+	if _, err := Build(2, []Edge{{0, 5, 1}}, BuildOptions{}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := Build(-1, nil, BuildOptions{}); err == nil {
+		t.Fatal("expected negative-n error")
+	}
+}
+
+func TestDirectedBuild(t *testing.T) {
+	g, err := Build(3, []Edge{{0, 1, 1}, {1, 2, 1}}, BuildOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() || g.NumEdges() != 2 || g.NumArcs() != 2 {
+		t.Fatalf("directed sizes wrong: %v", g)
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("reverse arc should not exist")
+	}
+	und := Undirected(g)
+	if und.Directed() || und.NumEdges() != 2 || und.NumArcs() != 4 {
+		t.Fatalf("symmetrize wrong: %v", und)
+	}
+}
+
+func TestEdgeIDsSharedAcrossArcs(t *testing.T) {
+	g := triangle(t)
+	for u := int32(0); u < 3; u++ {
+		for _, v := range g.Neighbors(u) {
+			if g.EdgeIDOf(u, v) != g.EdgeIDOf(v, u) {
+				t.Fatalf("edge id mismatch on (%d,%d)", u, v)
+			}
+		}
+	}
+	if g.EdgeIDOf(0, 0) != -1 {
+		t.Fatal("EdgeIDOf for absent arc should be -1")
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	g := triangle(t)
+	eps := g.EdgeEndpoints()
+	if len(eps) != 3 {
+		t.Fatalf("got %d endpoints", len(eps))
+	}
+	for id, e := range eps {
+		if g.EdgeIDOf(e.U, e.V) != int32(id) {
+			t.Fatalf("endpoint %d inconsistent", id)
+		}
+	}
+}
+
+func TestWeightedBuild(t *testing.T) {
+	g, err := Build(2, []Edge{{0, 1, 2.5}}, BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || g.TotalWeight() != 2.5 {
+		t.Fatalf("weight wrong: %v", g.TotalWeight())
+	}
+	if w := g.Weights(0); len(w) != 1 || w[0] != 2.5 {
+		t.Fatalf("Weights(0) = %v", w)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 3 || g2.NumEdges() != 3 {
+		t.Fatalf("round trip: %v", g2)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), false); err == nil {
+		t.Fatal("want parse error for single field")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), false); err == nil {
+		t.Fatal("want parse error for non-numeric")
+	}
+}
+
+func TestReadEdgeListHeaderN(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# snap edge list: n=10 m=1 undirected\n0 1\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("header n ignored: n=%d", g.NumVertices())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var edges []Edge
+	n := 50
+	for i := 0; i < 200; i++ {
+		edges = append(edges, Edge{
+			U: int32(rng.Intn(n)), V: int32(rng.Intn(n)), W: float64(1 + rng.Intn(9)),
+		})
+	}
+	g, err := Build(n, edges, BuildOptions{Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip sizes: %v vs %v", g2, g)
+	}
+	for v := int32(0); int(v) < n; v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Path 0-1-2-3; induce {1, 2, 3} -> path of length 2.
+	g, _ := Build(4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}, BuildOptions{})
+	sub, orig, err := InducedSubgraph(g, []int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("induced: %v", sub)
+	}
+	if orig[0] != 1 || orig[2] != 3 {
+		t.Fatalf("orig map wrong: %v", orig)
+	}
+	if _, _, err := InducedSubgraph(g, []int32{1, 1}); err == nil {
+		t.Fatal("want duplicate-vertex error")
+	}
+	if _, _, err := InducedSubgraph(g, []int32{9}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := triangle(t)
+	f := FilterEdges(g, func(eid int32) bool { return eid != 0 })
+	if f.NumEdges() != 2 || f.NumVertices() != 3 {
+		t.Fatalf("filtered: %v", f)
+	}
+}
+
+func TestQuickBuildValidates(t *testing.T) {
+	check := func(raw []uint16, directed bool) bool {
+		n := 40
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{
+				U: int32(raw[i] % uint16(n)),
+				V: int32(raw[i+1] % uint16(n)),
+				W: 1,
+			})
+		}
+		g, err := Build(n, edges, BuildOptions{Directed: directed})
+		if err != nil {
+			return false
+		}
+		return Validate(g) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreeSum(t *testing.T) {
+	// Sum of degrees equals 2m for undirected graphs.
+	check := func(raw []uint16) bool {
+		n := 30
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{U: int32(raw[i] % uint16(n)), V: int32(raw[i+1] % uint16(n))})
+		}
+		g, err := Build(n, edges, BuildOptions{})
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(int32(v))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicAddDelete(t *testing.T) {
+	d := NewDynamic(5, false)
+	if added, err := d.AddEdge(0, 1); err != nil || !added {
+		t.Fatalf("AddEdge: %v %v", added, err)
+	}
+	if added, _ := d.AddEdge(1, 0); added {
+		t.Fatal("duplicate edge added")
+	}
+	if !d.HasEdge(0, 1) || !d.HasEdge(1, 0) {
+		t.Fatal("symmetry broken")
+	}
+	if d.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", d.NumEdges())
+	}
+	if del, _ := d.DeleteEdge(0, 1); !del {
+		t.Fatal("delete failed")
+	}
+	if d.HasEdge(0, 1) || d.NumEdges() != 0 {
+		t.Fatal("delete left residue")
+	}
+	if _, err := d.AddEdge(0, 0); err == nil {
+		t.Fatal("self loop should error")
+	}
+	if _, err := d.AddEdge(0, 99); err == nil {
+		t.Fatal("out of range should error")
+	}
+}
+
+func TestDynamicTreapMigration(t *testing.T) {
+	d := NewDynamic(200, false)
+	d.SetTreapThreshold(8)
+	// Vertex 0 becomes high degree and must migrate to a treap.
+	for v := int32(1); v <= 100; v++ {
+		if _, err := d.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Degree(0) != 100 {
+		t.Fatalf("degree = %d", d.Degree(0))
+	}
+	if d.big[0] == nil {
+		t.Fatal("high-degree vertex did not migrate to treap")
+	}
+	nb := d.Neighbors(0)
+	if len(nb) != 100 {
+		t.Fatalf("neighbors = %d", len(nb))
+	}
+	for i := 1; i < len(nb); i++ {
+		if nb[i] <= nb[i-1] {
+			t.Fatal("neighbors not sorted")
+		}
+	}
+	// Deletion still works post-migration.
+	if del, _ := d.DeleteEdge(0, 50); !del {
+		t.Fatal("treap delete failed")
+	}
+	if d.HasEdge(0, 50) {
+		t.Fatal("edge survived deletion")
+	}
+}
+
+func TestDynamicCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDynamic(60, false)
+	for i := 0; i < 300; i++ {
+		u, v := int32(rng.Intn(60)), int32(rng.Intn(60))
+		if u != v {
+			d.AddEdge(u, v)
+		}
+	}
+	g := d.ToCSR()
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != d.NumEdges() {
+		t.Fatalf("edges: csr=%d dyn=%d", g.NumEdges(), d.NumEdges())
+	}
+	d2 := FromCSR(g)
+	if d2.NumEdges() != g.NumEdges() {
+		t.Fatalf("thaw edges: %d vs %d", d2.NumEdges(), g.NumEdges())
+	}
+	for v := int32(0); v < 60; v++ {
+		if d2.Degree(v) != g.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestQuickDynamicMatchesOracle(t *testing.T) {
+	check := func(ops []uint32) bool {
+		n := 24
+		d := NewDynamic(n, false)
+		d.SetTreapThreshold(4) // force treap paths
+		oracle := map[[2]int32]bool{}
+		for _, op := range ops {
+			u := int32(op % uint32(n))
+			v := int32((op / 7) % uint32(n))
+			if u == v {
+				continue
+			}
+			key := [2]int32{min32(u, v), max32(u, v)}
+			if op%2 == 0 {
+				added, err := d.AddEdge(u, v)
+				if err != nil || added == oracle[key] {
+					return false
+				}
+				oracle[key] = true
+			} else {
+				del, err := d.DeleteEdge(u, v)
+				if err != nil || del != oracle[key] {
+					return false
+				}
+				delete(oracle, key)
+			}
+		}
+		return d.NumEdges() == len(oracle)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text format: one edge per line, "u v" or "u v w", with '#'
+// comment lines and an optional header comment recording n, m, and
+// directedness. This is the interchange format of the cmd/ tools.
+
+// WriteEdgeList writes g in the text edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.Directed() {
+		kind = "directed"
+	}
+	fmt.Fprintf(bw, "# snap edge list: n=%d m=%d %s\n", g.NumVertices(), g.NumEdges(), kind)
+	for _, e := range g.EdgeEndpoints() {
+		if g.Weighted() {
+			fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+		} else {
+			fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format. The vertex count is
+// inferred as max endpoint + 1 unless a header comment provides n.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var edges []Edge
+	weighted := false
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if v, ok := headerField(line, "n="); ok {
+				n = v
+			}
+			if strings.Contains(line, "directed") && !strings.Contains(line, "undirected") {
+				directed = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		e := Edge{U: int32(u), V: int32(v), W: 1}
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			e.W = w
+			weighted = true
+		}
+		if int(e.U) >= n {
+			n = int(e.U) + 1
+		}
+		if int(e.V) >= n {
+			n = int(e.V) + 1
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return Build(n, edges, BuildOptions{Directed: directed, Weighted: weighted})
+}
+
+func headerField(line, key string) (int, bool) {
+	i := strings.Index(line, key)
+	if i < 0 {
+		return 0, false
+	}
+	rest := line[i+len(key):]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	if j == 0 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Binary format: a compact little-endian serialization of the CSR
+// arrays, used to snapshot generated graphs between tool invocations.
+
+var binMagic = [4]byte{'S', 'N', 'P', '1'}
+
+// WriteBinary serializes g in the SNAP binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Directed() {
+		flags |= 1
+	}
+	if g.Weighted() {
+		flags |= 2
+	}
+	hdr := []uint64{uint64(flags), uint64(g.NumVertices()), uint64(g.NumEdges()), uint64(len(g.Adj))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Adj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.EID); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	var flags, n, m, arcs uint64
+	for _, p := range []*uint64{&flags, &n, &m, &arcs} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if n > 1<<31 || arcs > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d arcs=%d", n, arcs)
+	}
+	g := &Graph{
+		Offsets:  make([]int64, n+1),
+		Adj:      make([]int32, arcs),
+		EID:      make([]int32, arcs),
+		directed: flags&1 != 0,
+		numEdges: int(m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.EID); err != nil {
+		return nil, err
+	}
+	if flags&2 != 0 {
+		g.W = make([]float64, arcs)
+		if err := binary.Read(br, binary.LittleEndian, g.W); err != nil {
+			return nil, err
+		}
+	}
+	if err := Validate(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,74 @@
+package graph
+
+// Typed-subgraph helpers: the paper's data model classifies vertices
+// and edges; these views extract the analysis substrate for one class
+// without copying attribute tables.
+
+// SubgraphByVertexFilter induces the subgraph on the vertices
+// satisfying keep, returning the subgraph and the new-to-old id map.
+func SubgraphByVertexFilter(g *Graph, keep func(v int32) bool) (*Graph, []int32, error) {
+	var verts []int32
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		if keep(v) {
+			verts = append(verts, v)
+		}
+	}
+	return InducedSubgraph(g, verts)
+}
+
+// SubgraphByEdgeFilter keeps only edges satisfying keep (all vertices
+// are retained, so ids are stable).
+func SubgraphByEdgeFilter(g *Graph, keep func(eid int32) bool) *Graph {
+	return FilterEdges(g, keep)
+}
+
+// LargestComponentView returns the vertex list of the largest
+// connected component (computed by BFS; for the Labeling-based variant
+// use components.Connected).
+func LargestComponentView(g *Graph) []int32 {
+	n := g.NumVertices()
+	visited := make([]bool, n)
+	var best []int32
+	queue := make([]int32, 0, 256)
+	for root := int32(0); int(root) < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue = append(queue[:0], root)
+		var members []int32
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			members = append(members, v)
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			for a := lo; a < hi; a++ {
+				u := g.Adj[a]
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		if len(members) > len(best) {
+			best = members
+		}
+	}
+	return best
+}
+
+// DegreeFilteredSubgraph induces the subgraph on vertices with degree
+// in [minDeg, maxDeg] (maxDeg < 0 means unbounded) — a common
+// preprocessing cut (e.g. dropping degree-1 periphery before heavy
+// analysis).
+func DegreeFilteredSubgraph(g *Graph, minDeg, maxDeg int) (*Graph, []int32, error) {
+	return SubgraphByVertexFilter(g, func(v int32) bool {
+		d := g.Degree(v)
+		if d < minDeg {
+			return false
+		}
+		if maxDeg >= 0 && d > maxDeg {
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,64 @@
+package graph
+
+import "testing"
+
+func TestSubgraphByVertexFilter(t *testing.T) {
+	g, _ := Build(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+	}, BuildOptions{})
+	sub, orig, err := SubgraphByVertexFilter(g, func(v int32) bool { return v%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 0 {
+		t.Fatalf("even-vertex subgraph: %v", sub)
+	}
+	if orig[0] != 0 || orig[1] != 2 || orig[2] != 4 {
+		t.Fatalf("orig map: %v", orig)
+	}
+}
+
+func TestSubgraphByEdgeFilter(t *testing.T) {
+	g, _ := Build(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, BuildOptions{})
+	sub := SubgraphByEdgeFilter(g, func(eid int32) bool { return eid != 1 })
+	if sub.NumEdges() != 2 || sub.NumVertices() != 4 {
+		t.Fatalf("edge-filtered: %v", sub)
+	}
+}
+
+func TestLargestComponentView(t *testing.T) {
+	g, _ := Build(7, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4},
+	}, BuildOptions{})
+	lc := LargestComponentView(g)
+	if len(lc) != 3 {
+		t.Fatalf("largest component size %d, want 3", len(lc))
+	}
+	seen := map[int32]bool{}
+	for _, v := range lc {
+		seen[v] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("wrong members: %v", lc)
+	}
+}
+
+func TestDegreeFilteredSubgraph(t *testing.T) {
+	// Star: hub degree 4, leaves degree 1.
+	g, _ := Build(5, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}}, BuildOptions{})
+	sub, orig, err := DegreeFilteredSubgraph(g, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 1 || orig[0] != 0 {
+		t.Fatalf("min-degree filter wrong: %v %v", sub, orig)
+	}
+	sub2, _, err := DegreeFilteredSubgraph(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.NumVertices() != 4 || sub2.NumEdges() != 0 {
+		t.Fatalf("max-degree filter wrong: %v", sub2)
+	}
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SumInt64 computes the sum of f(i) for i in [0, n) in parallel.
+func SumInt64(n int, f func(i int) int64) int64 {
+	workers := Workers()
+	if workers <= 1 || n < 1024 {
+		var s int64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	var total int64
+	ForChunkedN(n, workers, func(_, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		atomic.AddInt64(&total, s)
+	})
+	return total
+}
+
+// SumFloat64 computes the sum of f(i) for i in [0, n) in parallel using
+// per-worker partial sums merged under a mutex (float64 has no atomic
+// add in the stdlib).
+func SumFloat64(n int, f func(i int) float64) float64 {
+	workers := Workers()
+	if workers <= 1 || n < 1024 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	var mu sync.Mutex
+	var total float64
+	ForChunkedN(n, workers, func(_, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		mu.Lock()
+		total += s
+		mu.Unlock()
+	})
+	return total
+}
+
+// MaxIndexFloat64 returns the index in [0, n) maximizing f(i), and the
+// maximum value. Ties resolve to the smallest index so results are
+// deterministic regardless of worker count. n must be > 0.
+func MaxIndexFloat64(n int, f func(i int) float64) (int, float64) {
+	workers := Workers()
+	if workers <= 1 || n < 1024 {
+		best, bv := 0, f(0)
+		for i := 1; i < n; i++ {
+			if v := f(i); v > bv {
+				best, bv = i, v
+			}
+		}
+		return best, bv
+	}
+	type cand struct {
+		idx int
+		val float64
+	}
+	cands := make([]cand, workers)
+	ForChunkedN(n, workers, func(w, lo, hi int) {
+		best, bv := lo, f(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := f(i); v > bv {
+				best, bv = i, v
+			}
+		}
+		cands[w] = cand{best, bv}
+	})
+	best, bv := cands[0].idx, cands[0].val
+	for _, c := range cands[1:] {
+		if c.idx >= 0 && (c.val > bv || (c.val == bv && c.idx < best)) {
+			best, bv = c.idx, c.val
+		}
+	}
+	return best, bv
+}
+
+// CountInt64 counts the i in [0, n) for which pred(i) is true.
+func CountInt64(n int, pred func(i int) bool) int64 {
+	return SumInt64(n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// PrefixSum computes the exclusive prefix sum of src into a new slice of
+// length len(src)+1: out[0]=0 and out[i+1]=out[i]+src[i]. The final
+// element is the total. Used to lay out CSR offsets and per-worker
+// output regions.
+func PrefixSum(src []int64) []int64 {
+	out := make([]int64, len(src)+1)
+	var acc int64
+	for i, v := range src {
+		out[i] = acc
+		acc += v
+	}
+	out[len(src)] = acc
+	return out
+}
+
+// MinMaxInt64 returns the minimum and maximum of f over [0, n).
+// n must be > 0.
+func MinMaxInt64(n int, f func(i int) int64) (mn, mx int64) {
+	mn, mx = f(0), f(0)
+	for i := 1; i < n; i++ {
+		v := f(i)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}

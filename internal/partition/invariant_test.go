@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snap/internal/generate"
+)
+
+// Every multilevel partition of every random graph must be a valid
+// partition: all vertices placed, all parts within the balance window,
+// and the reported cut consistent with a recount.
+func TestQuickMultilevelPartitionValidity(t *testing.T) {
+	check := func(seed uint8, kRaw uint8) bool {
+		k := int(kRaw%6) + 2 // 2..7
+		g := generate.ErdosRenyi(200, 600, int64(seed))
+		r, err := MultilevelKWay(g, k, MultilevelOptions{Seed: int64(seed)})
+		if err != nil {
+			return false
+		}
+		if len(r.Part) != g.NumVertices() {
+			return false
+		}
+		for _, p := range r.Part {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+		}
+		if r.EdgeCut != EdgeCut(g, r.Part) {
+			return false
+		}
+		// The contract is maxW <= ideal*(1+imbalance); allow +1 vertex
+		// of slack for integer rounding on small parts.
+		sizes := make([]int, k)
+		for _, p := range r.Part {
+			sizes[p]++
+		}
+		ideal := float64(g.NumVertices()) / float64(k)
+		for _, s := range sizes {
+			if float64(s) > ideal*1.05+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Recursive bisection must satisfy the same contract, including on
+// disconnected graphs (where greedy growing needs its re-seeding path).
+func TestQuickRecursiveOnDisconnectedGraphs(t *testing.T) {
+	check := func(seed uint8) bool {
+		// Sparse enough to be disconnected with high probability.
+		g := generate.ErdosRenyi(150, 120, int64(seed))
+		r, err := MultilevelRecursive(g, 4, MultilevelOptions{Seed: int64(seed)})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, 4)
+		for _, p := range r.Part {
+			if p < 0 || p >= 4 {
+				return false
+			}
+			seen[p] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math/rand"
+
+	"snap/internal/graph"
+)
+
+// MultilevelOptions configures the Metis-style partitioners.
+type MultilevelOptions struct {
+	// CoarsenTarget is the coarsest-graph size per part (default 30:
+	// coarsening stops near K*30 vertices).
+	CoarsenTarget int
+	// Imbalance is the allowed part-weight overrun (default 0.05,
+	// i.e. parts may weigh up to 1.05x the ideal).
+	Imbalance float64
+	// RefinePasses bounds boundary-refinement sweeps per level
+	// (default 8).
+	RefinePasses int
+	// Seed drives matching and seeding randomness.
+	Seed int64
+}
+
+func (o *MultilevelOptions) fill() {
+	if o.CoarsenTarget <= 0 {
+		o.CoarsenTarget = 30
+	}
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.05
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+}
+
+// MultilevelKWay partitions g into k parts with the multilevel k-way
+// scheme (the pmetis/kmetis analogue): heavy-edge-matching coarsening,
+// greedy growing on the coarsest graph, then projection with boundary
+// refinement at every level.
+func MultilevelKWay(g *graph.Graph, k int, opt MultilevelOptions) (Result, error) {
+	if err := validateK(g, k); err != nil {
+		return Result{}, err
+	}
+	opt.fill()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	w := fromGraph(g)
+	levels, maps := coarsenToSize(w, k*opt.CoarsenTarget, rng)
+	coarsest := levels[len(levels)-1]
+	part := greedyGrow(coarsest, k, rng)
+	refineKWay(coarsest, part, k, opt, rng)
+	// Uncoarsen: project and refine.
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		coarseOf := maps[li]
+		finePart := make([]int32, fine.n())
+		for v := range finePart {
+			finePart[v] = part[coarseOf[v]]
+		}
+		part = finePart
+		refineKWay(fine, part, k, opt, rng)
+	}
+	return finish(g, part, k), nil
+}
+
+// MultilevelRecursive partitions g into k parts (k a power of two is
+// ideal; other k are split near-evenly) by recursive multilevel
+// bisection — the pmetis-style alternative to direct k-way.
+func MultilevelRecursive(g *graph.Graph, k int, opt MultilevelOptions) (Result, error) {
+	if err := validateK(g, k); err != nil {
+		return Result{}, err
+	}
+	opt.fill()
+	part := make([]int32, g.NumVertices())
+	w := fromGraph(g)
+	verts := make([]int32, g.NumVertices())
+	for i := range verts {
+		verts[i] = int32(i)
+	}
+	rb := &recursiveBisector{opt: opt, part: part, bisect: multilevelBisect}
+	rb.split(w, verts, 0, k)
+	return finish(g, part, k), nil
+}
+
+// recursiveBisector drives recursive bisection over induced weighted
+// subgraphs, writing final part ids into part.
+type recursiveBisector struct {
+	opt  MultilevelOptions
+	part []int32
+	// bisect computes a 2-way split of w with the given target weight
+	// fraction for side 0; returns side ids (0/1) per wgraph vertex.
+	bisect func(w *wgraph, frac float64, opt MultilevelOptions, rng *rand.Rand) ([]int32, error)
+	err    error
+}
+
+func (rb *recursiveBisector) split(w *wgraph, verts []int32, base, k int) {
+	if rb.err != nil {
+		return
+	}
+	if k <= 1 {
+		for _, v := range verts {
+			rb.part[v] = int32(base)
+		}
+		return
+	}
+	kl := k / 2
+	kr := k - kl
+	frac := float64(kl) / float64(k)
+	rng := rand.New(rand.NewSource(rb.opt.Seed + int64(base)*1315423911 + int64(k)))
+	side, err := rb.bisect(w, frac, rb.opt, rng)
+	if err != nil {
+		rb.err = err
+		return
+	}
+	wl, vl, wr, vr := inducedSplit(w, verts, side)
+	rb.split(wl, vl, base, kl)
+	rb.split(wr, vr, base+kl, kr)
+}
+
+// inducedSplit builds the two induced weighted subgraphs of a bisection
+// along with the original-vertex lists of each side.
+func inducedSplit(w *wgraph, verts []int32, side []int32) (*wgraph, []int32, *wgraph, []int32) {
+	n := w.n()
+	newID := make([]int32, n)
+	var n0, n1 int32
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			newID[v] = n0
+			n0++
+		} else {
+			newID[v] = n1
+			n1++
+		}
+	}
+	build := func(want int32, count int32) (*wgraph, []int32) {
+		out := &wgraph{vw: make([]int64, count), offsets: make([]int64, count+1)}
+		origs := make([]int32, count)
+		// Count arcs.
+		for v := 0; v < n; v++ {
+			if side[v] != want {
+				continue
+			}
+			var deg int64
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				if side[w.adj[a]] == want {
+					deg++
+				}
+			}
+			out.offsets[newID[v]+1] = deg
+		}
+		for i := int32(1); i <= count; i++ {
+			out.offsets[i] += out.offsets[i-1]
+		}
+		out.adj = make([]int32, out.offsets[count])
+		out.ew = make([]int64, out.offsets[count])
+		cursor := make([]int64, count)
+		copy(cursor, out.offsets[:count])
+		for v := 0; v < n; v++ {
+			if side[v] != want {
+				continue
+			}
+			nv := newID[v]
+			out.vw[nv] = w.vw[v]
+			origs[nv] = verts[v]
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				u := w.adj[a]
+				if side[u] != want {
+					continue
+				}
+				c := cursor[nv]
+				out.adj[c] = newID[u]
+				out.ew[c] = w.ew[a]
+				cursor[nv] = c + 1
+			}
+		}
+		return out, origs
+	}
+	w0, v0 := build(0, n0)
+	w1, v1 := build(1, n1)
+	return w0, v0, w1, v1
+}
+
+// multilevelBisect bisects a weighted graph with the full multilevel
+// pipeline, aiming for weight fraction frac on side 0.
+func multilevelBisect(w *wgraph, frac float64, opt MultilevelOptions, rng *rand.Rand) ([]int32, error) {
+	levels, maps := coarsenToSize(w, 2*opt.CoarsenTarget, rng)
+	coarsest := levels[len(levels)-1]
+	side := growBisection(coarsest, frac, rng)
+	refineBisection(coarsest, side, frac, opt, rng)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		coarseOf := maps[li]
+		fineSide := make([]int32, fine.n())
+		for v := range fineSide {
+			fineSide[v] = side[coarseOf[v]]
+		}
+		side = fineSide
+		refineBisection(fine, side, frac, opt, rng)
+	}
+	return side, nil
+}

@@ -1,0 +1,245 @@
+package partition
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+func validPartition(t *testing.T, name string, g *graph.Graph, r Result, k int) {
+	t.Helper()
+	if len(r.Part) != g.NumVertices() {
+		t.Fatalf("%s: part length %d", name, len(r.Part))
+	}
+	for v, p := range r.Part {
+		if p < 0 || int(p) >= k {
+			t.Fatalf("%s: vertex %d in invalid part %d", name, v, p)
+		}
+	}
+	if r.EdgeCut != EdgeCut(g, r.Part) {
+		t.Fatalf("%s: reported cut %d != recomputed %d", name, r.EdgeCut, EdgeCut(g, r.Part))
+	}
+	if r.Balance > 1.5 {
+		t.Fatalf("%s: balance %.2f too loose", name, r.Balance)
+	}
+	// All k parts must be nonempty for these test sizes.
+	seen := make([]bool, k)
+	for _, p := range r.Part {
+		seen[p] = true
+	}
+	for p, s := range seen {
+		if !s {
+			t.Fatalf("%s: part %d empty", name, p)
+		}
+	}
+}
+
+func TestEdgeCutAndBalance(t *testing.T) {
+	g, _ := graph.Build(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}}, graph.BuildOptions{})
+	part := []int32{0, 0, 1, 1}
+	if c := EdgeCut(g, part); c != 1 {
+		t.Fatalf("cut = %d, want 1", c)
+	}
+	if b := Balance(part, 2); b != 1 {
+		t.Fatalf("balance = %g, want 1", b)
+	}
+	if b := Balance([]int32{0, 0, 0, 1}, 2); b != 1.5 {
+		t.Fatalf("balance = %g, want 1.5", b)
+	}
+}
+
+func TestValidateK(t *testing.T) {
+	g := generate.Ring(8)
+	if _, err := MultilevelKWay(g, 1, MultilevelOptions{}); err == nil {
+		t.Fatal("k=1 should error")
+	}
+	if _, err := MultilevelKWay(g, 100, MultilevelOptions{}); err == nil {
+		t.Fatal("k>n should error")
+	}
+}
+
+func TestMultilevelKWayOnMesh(t *testing.T) {
+	g := generate.RoadMesh(40, 40, 0, 1)
+	r, err := MultilevelKWay(g, 8, MultilevelOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validPartition(t, "kway", g, r, 8)
+	// A 40x40 mesh split 8 ways has cuts around a few hundred at most;
+	// random assignment would cut ~87.5% of 3120 edges (~2700).
+	if r.EdgeCut > 600 {
+		t.Fatalf("mesh cut %d too high for a multilevel partitioner", r.EdgeCut)
+	}
+}
+
+func TestMultilevelRecursiveOnMesh(t *testing.T) {
+	g := generate.RoadMesh(40, 40, 0, 2)
+	r, err := MultilevelRecursive(g, 8, MultilevelOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validPartition(t, "recur", g, r, 8)
+	if r.EdgeCut > 600 {
+		t.Fatalf("mesh cut %d too high", r.EdgeCut)
+	}
+}
+
+func TestMultilevelBisectionOnTwoCliques(t *testing.T) {
+	// Two K10 cliques joined by a single edge: the optimal 2-way cut
+	// is exactly 1, and any decent partitioner must find it.
+	var edges []graph.Edge
+	for i := int32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+			edges = append(edges, graph.Edge{U: 10 + i, V: 10 + j})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: 10})
+	g, _ := graph.Build(20, edges, graph.BuildOptions{})
+	r, err := MultilevelRecursive(g, 2, MultilevelOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut != 1 {
+		t.Fatalf("two-clique cut = %d, want 1", r.EdgeCut)
+	}
+}
+
+func TestSpectralOnTwoCliques(t *testing.T) {
+	var edges []graph.Edge
+	for i := int32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+			edges = append(edges, graph.Edge{U: 10 + i, V: 10 + j})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 0, V: 10})
+	g, _ := graph.Build(20, edges, graph.BuildOptions{})
+
+	r, err := SpectralRQI(g, 2, SpectralOptions{Seed: 4, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EdgeCut != 1 {
+		t.Fatalf("spectral RQI two-clique cut = %d, want 1", r.EdgeCut)
+	}
+	r2, err := SpectralLanczos(g, 2, SpectralOptions{Seed: 4, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.EdgeCut != 1 {
+		t.Fatalf("spectral Lanczos two-clique cut = %d, want 1", r2.EdgeCut)
+	}
+}
+
+func TestSpectralRQIOnMesh(t *testing.T) {
+	g := generate.RoadMesh(24, 24, 0, 5)
+	r, err := SpectralRQI(g, 4, SpectralOptions{Seed: 5, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validPartition(t, "spectral-rqi", g, r, 4)
+	// Mesh cuts should be near-linear in the side length.
+	if r.EdgeCut > 250 {
+		t.Fatalf("mesh spectral cut %d too high", r.EdgeCut)
+	}
+}
+
+func TestSpectralLanczosOnMesh(t *testing.T) {
+	g := generate.RoadMesh(16, 16, 0, 6)
+	r, err := SpectralLanczos(g, 2, SpectralOptions{Seed: 6, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validPartition(t, "spectral-lan", g, r, 2)
+	if r.EdgeCut > 60 {
+		t.Fatalf("mesh Lanczos cut %d too high", r.EdgeCut)
+	}
+}
+
+func TestSmallWorldCutsWorseThanMesh(t *testing.T) {
+	// The core Table 1 phenomenon: at equal n and m, the small-world
+	// graph's cut is dramatically worse than the mesh's.
+	mesh := generate.RoadMesh(50, 50, 0.04, 7)
+	sw := generate.RMAT(mesh.NumVertices(), mesh.NumEdges(), generate.DefaultRMAT(), 7)
+	rm, err := MultilevelKWay(mesh, 8, MultilevelOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := MultilevelKWay(sw, 8, MultilevelOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.EdgeCut < 4*rm.EdgeCut {
+		t.Fatalf("small-world cut %d not clearly worse than mesh cut %d",
+			rs.EdgeCut, rm.EdgeCut)
+	}
+}
+
+func TestSpectralNoConvergenceSurfaces(t *testing.T) {
+	// A starved iteration budget must report ErrNoConvergence rather
+	// than returning garbage — the paper's "Chaco fails to complete".
+	g := generate.RMAT(2048, 8192, generate.DefaultRMAT(), 8)
+	_, err := SpectralRQI(g, 2, SpectralOptions{Seed: 8, MaxIterations: 1001, Tolerance: 1e-12})
+	if err != nil && !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	// (Convergence is permitted; the assertion is only about the type.)
+}
+
+func TestCoarsenPreservesTotals(t *testing.T) {
+	g := generate.RMAT(1000, 4000, generate.DefaultRMAT(), 9)
+	w := fromGraph(g)
+	levels, maps := coarsenToSize(w, 64, newTestRng())
+	if len(levels) < 2 {
+		t.Fatal("no coarsening happened")
+	}
+	for li := 1; li < len(levels); li++ {
+		if levels[li].totalVW() != int64(g.NumVertices()) {
+			t.Fatalf("level %d lost vertex weight: %d", li, levels[li].totalVW())
+		}
+		if levels[li].n() >= levels[li-1].n() {
+			t.Fatalf("level %d did not shrink", li)
+		}
+	}
+	// Fine-to-coarse maps must be onto [0, coarse.n).
+	for li, mp := range maps {
+		coarseN := int32(levels[li+1].n())
+		for _, c := range mp {
+			if c < 0 || c >= coarseN {
+				t.Fatalf("map %d out of range", li)
+			}
+		}
+	}
+}
+
+func TestHeavyEdgeMatchingIsMatching(t *testing.T) {
+	g := generate.RMAT(500, 2000, generate.DefaultRMAT(), 10)
+	w := fromGraph(g)
+	match := w.heavyEdgeMatching(newTestRng())
+	for v := int32(0); int(v) < w.n(); v++ {
+		m := match[v]
+		if m == -1 {
+			t.Fatalf("vertex %d unprocessed", v)
+		}
+		if m != v && match[m] != v {
+			t.Fatalf("matching not symmetric at %d<->%d", v, m)
+		}
+	}
+}
+
+func newTestRng() *rand.Rand { return rand.New(&randSource{state: 42}) }
+
+// randSource adapts a tiny deterministic generator to *rand.Rand usage
+// in tests via math/rand.New.
+type randSource struct{ state uint64 }
+
+func (r *randSource) Int63() int64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int64(r.state >> 1)
+}
+
+func (r *randSource) Seed(s int64) { r.state = uint64(s) }

@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"snap/internal/graph"
+)
+
+// wgraph is the weighted working graph of the multilevel pipeline:
+// vertices carry weights (#fine vertices collapsed into them) and edges
+// carry weights (#fine edges collapsed into them).
+type wgraph struct {
+	offsets []int64
+	adj     []int32
+	ew      []int64
+	vw      []int64
+}
+
+func (w *wgraph) n() int { return len(w.vw) }
+
+func (w *wgraph) totalVW() int64 {
+	var s int64
+	for _, x := range w.vw {
+		s += x
+	}
+	return s
+}
+
+func (w *wgraph) degree(v int32) int64 {
+	// Weighted degree: sum of incident edge weights.
+	var s int64
+	for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+		s += w.ew[a]
+	}
+	return s
+}
+
+// fromGraph converts a CSR graph to a unit-weight wgraph.
+func fromGraph(g *graph.Graph) *wgraph {
+	n := g.NumVertices()
+	w := &wgraph{
+		offsets: g.Offsets,
+		adj:     g.Adj,
+		ew:      make([]int64, len(g.Adj)),
+		vw:      make([]int64, n),
+	}
+	for i := range w.ew {
+		w.ew[i] = 1
+	}
+	for i := range w.vw {
+		w.vw[i] = 1
+	}
+	return w
+}
+
+// heavyEdgeMatching computes a matching that prefers heavy edges
+// (visiting vertices in random order, each unmatched vertex matches its
+// heaviest unmatched neighbor). match[v] == v means unmatched.
+func (w *wgraph) heavyEdgeMatching(rng *rand.Rand) []int32 {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64
+		for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+			u := w.adj[a]
+			if u == v || match[u] != -1 {
+				continue
+			}
+			if w.ew[a] > bestW || (w.ew[a] == bestW && best == -1) {
+				best, bestW = u, w.ew[a]
+			}
+		}
+		if best == -1 {
+			match[v] = v
+		} else {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	return match
+}
+
+// coarsen contracts the matching into a coarser wgraph and returns it
+// with the fine-to-coarse vertex map.
+func (w *wgraph) coarsen(match []int32) (*wgraph, []int32) {
+	n := w.n()
+	coarseOf := make([]int32, n)
+	for i := range coarseOf {
+		coarseOf[i] = -1
+	}
+	var cn int32
+	for v := int32(0); int(v) < n; v++ {
+		if coarseOf[v] != -1 {
+			continue
+		}
+		coarseOf[v] = cn
+		if m := match[v]; m != v && m != -1 {
+			coarseOf[m] = cn
+		}
+		cn++
+	}
+	// Aggregate edges per coarse vertex.
+	type ce struct {
+		to int32
+		w  int64
+	}
+	buckets := make([][]ce, cn)
+	vw := make([]int64, cn)
+	for v := int32(0); int(v) < n; v++ {
+		cv := coarseOf[v]
+		vw[cv] += w.vw[v]
+		for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+			cu := coarseOf[w.adj[a]]
+			if cu == cv {
+				continue // contracted (or self) edge
+			}
+			buckets[cv] = append(buckets[cv], ce{to: cu, w: w.ew[a]})
+		}
+	}
+	out := &wgraph{vw: vw, offsets: make([]int64, cn+1)}
+	for cv := int32(0); cv < cn; cv++ {
+		b := buckets[cv]
+		sort.Slice(b, func(i, j int) bool { return b[i].to < b[j].to })
+		// Collapse parallel edges.
+		k := 0
+		for i := 0; i < len(b); {
+			j := i
+			var sum int64
+			for j < len(b) && b[j].to == b[i].to {
+				sum += b[j].w
+				j++
+			}
+			b[k] = ce{to: b[i].to, w: sum}
+			k++
+			i = j
+		}
+		buckets[cv] = b[:k]
+		out.offsets[cv+1] = out.offsets[cv] + int64(k)
+	}
+	total := out.offsets[cn]
+	out.adj = make([]int32, total)
+	out.ew = make([]int64, total)
+	for cv := int32(0); cv < cn; cv++ {
+		base := out.offsets[cv]
+		for i, e := range buckets[cv] {
+			out.adj[base+int64(i)] = e.to
+			out.ew[base+int64(i)] = e.w
+		}
+	}
+	return out, coarseOf
+}
+
+// coarsenToSize repeatedly matches and contracts until the graph has at
+// most target vertices or coarsening stalls. It returns the hierarchy
+// (finest first) and the fine-to-coarse maps (maps[i] maps level i to
+// level i+1 ids).
+func coarsenToSize(w *wgraph, target int, rng *rand.Rand) (levels []*wgraph, maps [][]int32) {
+	levels = []*wgraph{w}
+	for levels[len(levels)-1].n() > target {
+		cur := levels[len(levels)-1]
+		match := cur.heavyEdgeMatching(rng)
+		next, coarseOf := cur.coarsen(match)
+		if next.n() >= cur.n()*19/20 {
+			break // stalled: mostly unmatched vertices
+		}
+		levels = append(levels, next)
+		maps = append(maps, coarseOf)
+	}
+	return levels, maps
+}

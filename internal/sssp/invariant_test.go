@@ -1,0 +1,55 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snap/internal/generate"
+)
+
+// Shortest-path distances satisfy the relaxation (triangle) condition
+// over every edge: dist[v] <= dist[u] + w(u, v). This is the defining
+// certificate of SSSP correctness, checked over random weighted graphs
+// for the parallel delta-stepping implementation.
+func TestQuickDeltaSteppingRelaxationCertificate(t *testing.T) {
+	check := func(seed uint8, delta uint8) bool {
+		g := generate.RandomWeights(
+			generate.ErdosRenyi(50, 150, int64(seed)), 9, int64(seed)+1)
+		d := float64(delta%8) / 2 // 0 (auto) .. 3.5
+		r := DeltaStepping(g, 0, DeltaSteppingOptions{Delta: d, Workers: 3})
+		for u := int32(0); int(u) < g.NumVertices(); u++ {
+			if math.IsInf(r.Dist[u], 1) {
+				continue
+			}
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for a := lo; a < hi; a++ {
+				v := g.Adj[a]
+				if r.Dist[v] > r.Dist[u]+g.W[a]+1e-9 {
+					return false
+				}
+			}
+		}
+		// Source must be 0; everything reachable must have a parent
+		// chain terminating at the source.
+		if r.Dist[0] != 0 {
+			return false
+		}
+		for v := int32(1); int(v) < g.NumVertices(); v++ {
+			if math.IsInf(r.Dist[v], 1) {
+				continue
+			}
+			steps := 0
+			for x := v; x != 0; x = r.Parent[x] {
+				if r.Parent[x] < 0 || steps > g.NumVertices() {
+					return false
+				}
+				steps++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package sssp implements single-source shortest paths: a binary-heap
+// Dijkstra reference and the parallel delta-stepping algorithm
+// (Meyer & Sanders) that SNAP uses for weighted small-world graphs,
+// where the low diameter keeps the number of bucket phases small.
+package sssp
+
+import (
+	"math"
+	"sync"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// Inf marks unreachable vertices.
+var Inf = math.Inf(1)
+
+// Result holds the distance and parent arrays of one SSSP run.
+// Parent[src] == src; unreachable vertices have Parent -1 and Dist Inf.
+type Result struct {
+	Dist   []float64
+	Parent []int32
+}
+
+// Dijkstra is the serial reference implementation (lazy deletion over a
+// binary heap). Negative weights are not supported.
+func Dijkstra(g *graph.Graph, src int32) Result {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+	h := &distHeap{}
+	h.push(distItem{d: 0, v: src})
+	for h.len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		v := it.v
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for a := lo; a < hi; a++ {
+			u := g.Adj[a]
+			nd := it.d + arcWeight(g, a)
+			if nd < dist[u] {
+				dist[u] = nd
+				parent[u] = v
+				h.push(distItem{d: nd, v: u})
+			}
+		}
+	}
+	return Result{Dist: dist, Parent: parent}
+}
+
+func arcWeight(g *graph.Graph, a int64) float64 {
+	if g.W == nil {
+		return 1
+	}
+	return g.W[a]
+}
+
+// DeltaSteppingOptions configures DeltaStepping.
+type DeltaSteppingOptions struct {
+	// Delta is the bucket width. <= 0 selects delta = maxWeight/avgDegree
+	// heuristically (and 1 for unweighted graphs, which degenerates to
+	// level-synchronous BFS).
+	Delta float64
+	// Workers bounds parallelism; <= 0 means par.Workers().
+	Workers int
+}
+
+// DeltaStepping computes SSSP with the delta-stepping label-correcting
+// algorithm. Vertices are kept in buckets of width delta; each phase
+// relaxes all light edges (w <= delta) of the current bucket in
+// parallel until it stabilizes, then relaxes its heavy edges once.
+// Matches Dijkstra exactly on non-negative weights.
+func DeltaStepping(g *graph.Graph, src int32, opt DeltaSteppingOptions) Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	delta := opt.Delta
+	if delta <= 0 {
+		delta = defaultDelta(g)
+	}
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+
+	buckets := map[int][]int32{0: {src}}
+	inBucket := make([]int, n)
+	for i := range inBucket {
+		inBucket[i] = -1
+	}
+	inBucket[src] = 0
+	var mu sync.Mutex
+
+	getDist := func(v int32) float64 {
+		mu.Lock()
+		d := dist[v]
+		mu.Unlock()
+		return d
+	}
+	relax := func(u int32, nd float64, from int32) {
+		mu.Lock()
+		if nd < dist[u] {
+			dist[u] = nd
+			parent[u] = from
+			b := int(nd / delta)
+			if inBucket[u] != b {
+				inBucket[u] = b
+				buckets[b] = append(buckets[b], u)
+			}
+		}
+		mu.Unlock()
+	}
+
+	for {
+		// Find the lowest non-empty bucket.
+		cur := -1
+		for b := range buckets {
+			if len(buckets[b]) > 0 && (cur == -1 || b < cur) {
+				cur = b
+			}
+		}
+		if cur == -1 {
+			break
+		}
+		var settled []int32
+		// Light-edge phases: re-process the bucket until it stops
+		// refilling.
+		for len(buckets[cur]) > 0 {
+			batch := buckets[cur]
+			buckets[cur] = nil
+			// Deduplicate and drop stale entries.
+			live := batch[:0]
+			for _, v := range batch {
+				if inBucket[v] == cur {
+					inBucket[v] = -2 // being processed
+					live = append(live, v)
+				}
+			}
+			settled = append(settled, live...)
+			par.ForChunkedN(len(live), workers, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := live[i]
+					dv := getDist(v)
+					alo, ahi := g.Offsets[v], g.Offsets[v+1]
+					for a := alo; a < ahi; a++ {
+						w := arcWeight(g, a)
+						if w > delta {
+							continue
+						}
+						relax(g.Adj[a], dv+w, v)
+					}
+				}
+			})
+		}
+		delete(buckets, cur)
+		// Heavy-edge phase over everything settled in this bucket.
+		par.ForChunkedN(len(settled), workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := settled[i]
+				dv := getDist(v)
+				alo, ahi := g.Offsets[v], g.Offsets[v+1]
+				for a := alo; a < ahi; a++ {
+					w := arcWeight(g, a)
+					if w <= delta {
+						continue
+					}
+					relax(g.Adj[a], dv+w, v)
+				}
+			}
+		})
+	}
+	return Result{Dist: dist, Parent: parent}
+}
+
+func defaultDelta(g *graph.Graph) float64 {
+	if g.W == nil {
+		return 1
+	}
+	maxW := 0.0
+	for _, w := range g.W {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	avgDeg := float64(g.NumArcs()) / float64(max(1, g.NumVertices()))
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	d := maxW / avgDeg
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type distItem struct {
+	d float64
+	v int32
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) len() int { return len(h.items) }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[i].d >= h.items[p].d {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < last && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,94 @@
+package treap
+
+// Set operations over treaps via split/join, after Blelloch &
+// Reid-Miller. SNAP uses these for adjacency-set algebra on
+// high-degree vertices (e.g. common-neighbor counts in clustering
+// coefficient computations, neighborhood merges in agglomeration).
+
+// Union returns a new treap containing every key present in a or b.
+// The inputs are not modified.
+func Union(a, b *Treap) *Treap {
+	out := New(mixSeed(a, b))
+	out.root = unionRec(cloneRec(a.root), cloneRec(b.root))
+	return out
+}
+
+func unionRec(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.priority < b.priority {
+		a, b = b, a
+	}
+	l, r := split(b, a.key)
+	// Drop a duplicate of a.key from the right part, if present.
+	var dup bool
+	r = deleteRec(r, a.key, &dup)
+	a.left = unionRec(a.left, l)
+	a.right = unionRec(a.right, r)
+	return update(a)
+}
+
+// Intersect returns a new treap containing the keys present in both a
+// and b. The inputs are not modified.
+func Intersect(a, b *Treap) *Treap {
+	out := New(mixSeed(a, b))
+	out.root = intersectRec(cloneRec(a.root), cloneRec(b.root))
+	return out
+}
+
+func intersectRec(a, b *node) *node {
+	if a == nil || b == nil {
+		return nil
+	}
+	if a.priority < b.priority {
+		a, b = b, a
+	}
+	l, r := split(b, a.key)
+	var present bool
+	r = deleteRec(r, a.key, &present)
+	li := intersectRec(a.left, l)
+	ri := intersectRec(a.right, r)
+	if present {
+		a.left, a.right = li, ri
+		return update(a)
+	}
+	return join(li, ri)
+}
+
+// Difference returns a new treap with the keys of a that are not in b.
+// The inputs are not modified.
+func Difference(a, b *Treap) *Treap {
+	out := New(mixSeed(a, b))
+	out.root = differenceRec(cloneRec(a.root), b.root)
+	return out
+}
+
+func differenceRec(a, b *node) *node {
+	if a == nil {
+		return nil
+	}
+	if b == nil {
+		return a
+	}
+	l, r := split(a, b.key)
+	var dup bool
+	r = deleteRec(r, b.key, &dup)
+	return join(differenceRec(l, b.left), differenceRec(r, b.right))
+}
+
+// FromKeys builds a treap from keys (duplicates collapse).
+func FromKeys(seed int64, keys []int32) *Treap {
+	t := New(seed)
+	for _, k := range keys {
+		t.Insert(k)
+	}
+	return t
+}
+
+func mixSeed(a, b *Treap) int64 {
+	return a.rng.Int63() ^ (b.rng.Int63() << 1)
+}

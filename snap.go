@@ -1,0 +1,466 @@
+// Package snap is SNAP-Go: a parallel framework for small-world
+// network analysis and partitioning, reproducing Bader & Madduri,
+// "SNAP, Small-world Network Analysis and Partitioning" (IPDPS 2008).
+//
+// The package is a facade over the internal kernel packages and is the
+// supported public API:
+//
+//   - Graph construction: Build, NewDynamic, ReadEdgeList, generators
+//     (RMAT, ErdosRenyi, RoadMesh, WattsStrogatz, ...).
+//   - Graph kernels: BFS, ConnectedComponents, Biconnected, MST,
+//     ShortestPaths.
+//   - Centrality: Degree, Closeness, Betweenness (exact and
+//     adaptive-sampling approximate, vertex and edge).
+//   - Network metrics: clustering coefficients, assortativity,
+//     rich-club, average path length.
+//   - Community detection: GirvanNewman, PBD, PMA, PLA, Modularity.
+//   - Partitioning: MultilevelKWay, MultilevelRecursive, SpectralRQI,
+//     SpectralLanczos, EdgeCut.
+//
+// Parallelism: every kernel obeys GOMAXPROCS (or an explicit Workers
+// option). See DESIGN.md for the architecture and EXPERIMENTS.md for
+// the paper-reproduction results.
+package snap
+
+import (
+	"io"
+
+	"snap/internal/bfs"
+	"snap/internal/centrality"
+	"snap/internal/community"
+	"snap/internal/components"
+	"snap/internal/generate"
+	"snap/internal/graph"
+	"snap/internal/metrics"
+	"snap/internal/partition"
+	"snap/internal/sssp"
+)
+
+// Graph is the immutable CSR graph at the heart of SNAP.
+type Graph = graph.Graph
+
+// Edge is an input edge for graph construction.
+type Edge = graph.Edge
+
+// BuildOptions controls CSR construction.
+type BuildOptions = graph.BuildOptions
+
+// Dynamic is the mutable graph with treap-backed high-degree
+// adjacencies.
+type Dynamic = graph.Dynamic
+
+// Build constructs a CSR graph from an edge list.
+func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	return graph.Build(n, edges, opt)
+}
+
+// NewDynamic returns an empty dynamic graph with n vertices.
+func NewDynamic(n int, directed bool) *Dynamic { return graph.NewDynamic(n, directed) }
+
+// FromDynamic freezes a dynamic graph into CSR form.
+func FromDynamic(d *Dynamic) *Graph { return d.ToCSR() }
+
+// Undirected returns g or its symmetrized copy when g is directed.
+func Undirected(g *Graph) *Graph { return graph.Undirected(g) }
+
+// ReadEdgeList parses the text edge-list interchange format.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, directed)
+}
+
+// WriteEdgeList writes the text edge-list interchange format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinary reads the compact binary CSR snapshot format.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinary writes the compact binary CSR snapshot format.
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Generators.
+
+// RMATParams are the R-MAT quadrant probabilities.
+type RMATParams = generate.RMATParams
+
+// DefaultRMAT returns the standard skewed R-MAT parameters.
+func DefaultRMAT() RMATParams { return generate.DefaultRMAT() }
+
+// RMAT generates an undirected R-MAT small-world graph.
+func RMAT(n, m int, p RMATParams, seed int64) *Graph { return generate.RMAT(n, m, p, seed) }
+
+// ErdosRenyi generates a sparse uniform random graph with m edges.
+func ErdosRenyi(n, m int, seed int64) *Graph { return generate.ErdosRenyi(n, m, seed) }
+
+// RoadMesh generates a road-network-like 2-D mesh.
+func RoadMesh(rows, cols int, extra float64, seed int64) *Graph {
+	return generate.RoadMesh(rows, cols, extra, seed)
+}
+
+// WattsStrogatz generates the classic rewired-ring small-world graph.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	return generate.WattsStrogatz(n, k, beta, seed)
+}
+
+// PlantedPartition generates the planted community benchmark, returning
+// the graph and ground-truth assignment.
+func PlantedPartition(k, csize int, pin, pout float64, seed int64) (*Graph, []int32) {
+	return generate.PlantedPartition(k, csize, pin, pout, seed)
+}
+
+// PreferentialAttachment generates a Barabási–Albert power-law graph.
+func PreferentialAttachment(n, k int, seed int64) *Graph {
+	return generate.PreferentialAttachment(n, k, seed)
+}
+
+// Kernels.
+
+// BFSResult is a breadth-first tree (hop distances and parents).
+type BFSResult = bfs.Result
+
+// BFS runs the lock-free level-synchronous parallel BFS from src.
+func BFS(g *Graph, src int32) BFSResult {
+	return bfs.Parallel(g, src, bfs.Options{DegreeAware: true})
+}
+
+// BFSSerial runs the serial reference BFS.
+func BFSSerial(g *Graph, src int32) BFSResult { return bfs.Serial(g, src, nil) }
+
+// Components is a partition of the vertices into connected components.
+type Components = components.Labeling
+
+// ConnectedComponents computes connected components (parallel label
+// propagation).
+func ConnectedComponents(g *Graph) Components {
+	return components.ConnectedParallel(g, nil, 0)
+}
+
+// BiconnectedResult holds articulation points, bridges, and the
+// edge partition into biconnected components.
+type BiconnectedResult = components.BiCC
+
+// Biconnected decomposes g into biconnected components.
+func Biconnected(g *Graph) BiconnectedResult { return components.Biconnected(g) }
+
+// MSTResult is a minimum spanning forest.
+type MSTResult = components.MST
+
+// MST computes a minimum spanning forest with parallel Borůvka rounds.
+func MST(g *Graph) MSTResult { return components.BoruvkaMST(g, 0) }
+
+// SSSPResult holds single-source shortest-path distances and parents.
+type SSSPResult = sssp.Result
+
+// ShortestPaths computes SSSP with parallel delta-stepping.
+func ShortestPaths(g *Graph, src int32) SSSPResult {
+	return sssp.DeltaStepping(g, src, sssp.DeltaSteppingOptions{})
+}
+
+// Dijkstra computes SSSP with the serial reference algorithm.
+func Dijkstra(g *Graph, src int32) SSSPResult { return sssp.Dijkstra(g, src) }
+
+// Centrality.
+
+// CentralityScores holds vertex and/or edge betweenness scores.
+type CentralityScores = centrality.Scores
+
+// BetweennessOptions configures betweenness computation.
+type BetweennessOptions = centrality.BetweennessOptions
+
+// Betweenness computes exact betweenness centrality (Brandes).
+func Betweenness(g *Graph, opt BetweennessOptions) CentralityScores {
+	return centrality.Betweenness(g, opt)
+}
+
+// ApproxOptions configures adaptive-sampling approximate betweenness.
+type ApproxOptions = centrality.ApproxOptions
+
+// ApproxBetweenness estimates betweenness by adaptive sampling.
+func ApproxBetweenness(g *Graph, opt ApproxOptions) CentralityScores {
+	return centrality.ApproxBetweenness(g, opt)
+}
+
+// DegreeCentrality returns per-vertex degree scores.
+func DegreeCentrality(g *Graph) []float64 { return centrality.DegreeCentrality(g) }
+
+// Closeness computes closeness centrality for every vertex.
+func Closeness(g *Graph) []float64 {
+	return centrality.Closeness(g, centrality.ClosenessOptions{})
+}
+
+// TopKVertices returns the indices of the k largest scores, descending.
+func TopKVertices(scores []float64, k int) []int32 { return centrality.TopKVertices(scores, k) }
+
+// Metrics.
+
+// DegreeStats summarizes a degree distribution.
+type DegreeStats = metrics.DegreeStats
+
+// Degrees computes degree statistics.
+func Degrees(g *Graph) DegreeStats { return metrics.Degrees(g) }
+
+// ClusteringCoefficient returns the mean local clustering coefficient.
+func ClusteringCoefficient(g *Graph) float64 { return metrics.GlobalClustering(g, 0) }
+
+// LocalClustering returns per-vertex local clustering coefficients.
+func LocalClustering(g *Graph) []float64 { return metrics.LocalClustering(g, 0) }
+
+// Assortativity returns Newman's degree assortativity coefficient.
+func Assortativity(g *Graph) float64 { return metrics.Assortativity(g) }
+
+// RichClub returns the rich-club coefficient per degree threshold.
+func RichClub(g *Graph) []float64 { return metrics.RichClub(g) }
+
+// AvgNeighborDegree returns the average neighbor connectivity knn(k).
+func AvgNeighborDegree(g *Graph) []float64 { return metrics.AvgNeighborDegree(g) }
+
+// AvgPathLength estimates the mean shortest-path length (sampled BFS)
+// and a diameter lower bound.
+func AvgPathLength(g *Graph) (float64, int) {
+	return metrics.AvgPathLength(g, metrics.PathLengthOptions{})
+}
+
+// Community detection.
+
+// Clustering is a partition of the vertices into communities.
+type Clustering = community.Clustering
+
+// Dendrogram records the trajectory of a divisive or agglomerative run.
+type Dendrogram = community.Dendrogram
+
+// Modularity computes Newman–Girvan modularity of assign on g.
+func Modularity(g *Graph, assign []int32) float64 {
+	return community.Modularity(g, assign, 0)
+}
+
+// GNOptions configures the Girvan–Newman baseline.
+type GNOptions = community.GNOptions
+
+// GirvanNewman runs the exact edge-betweenness divisive baseline.
+func GirvanNewman(g *Graph, opt GNOptions) (Clustering, *Dendrogram) {
+	return community.GirvanNewman(g, opt)
+}
+
+// PBDOptions configures the approximate-betweenness divisive algorithm.
+type PBDOptions = community.PBDOptions
+
+// PBD runs the parallel approximate-betweenness divisive algorithm.
+func PBD(g *Graph, opt PBDOptions) (Clustering, *Dendrogram) {
+	return community.PBD(g, opt)
+}
+
+// PMAOptions configures the agglomerative algorithm.
+type PMAOptions = community.PMAOptions
+
+// PMA runs the parallel modularity-maximizing agglomerative algorithm.
+func PMA(g *Graph, opt PMAOptions) (Clustering, *Dendrogram) {
+	return community.PMA(g, opt)
+}
+
+// PLAOptions configures the greedy local aggregation algorithm.
+type PLAOptions = community.PLAOptions
+
+// PLA runs the parallel greedy local aggregation algorithm.
+func PLA(g *Graph, opt PLAOptions) Clustering {
+	return community.PLA(g, opt)
+}
+
+// RefineClustering improves a clustering with greedy vertex moves.
+func RefineClustering(g *Graph, c Clustering, passes int, seed int64) Clustering {
+	return community.Refine(g, c, passes, seed)
+}
+
+// Partitioning.
+
+// PartitionResult is a k-way partition with cut and balance metrics.
+type PartitionResult = partition.Result
+
+// MultilevelOptions configures the Metis-style partitioners.
+type MultilevelOptions = partition.MultilevelOptions
+
+// SpectralOptions configures the Chaco-style spectral partitioners.
+type SpectralOptions = partition.SpectralOptions
+
+// MultilevelKWay partitions g into k parts (multilevel k-way).
+func MultilevelKWay(g *Graph, k int, opt MultilevelOptions) (PartitionResult, error) {
+	return partition.MultilevelKWay(g, k, opt)
+}
+
+// MultilevelRecursive partitions g into k parts (recursive bisection).
+func MultilevelRecursive(g *Graph, k int, opt MultilevelOptions) (PartitionResult, error) {
+	return partition.MultilevelRecursive(g, k, opt)
+}
+
+// SpectralRQI partitions g spectrally (multilevel power/RQI Fiedler).
+func SpectralRQI(g *Graph, k int, opt SpectralOptions) (PartitionResult, error) {
+	return partition.SpectralRQI(g, k, opt)
+}
+
+// SpectralLanczos partitions g spectrally (Lanczos Fiedler).
+func SpectralLanczos(g *Graph, k int, opt SpectralOptions) (PartitionResult, error) {
+	return partition.SpectralLanczos(g, k, opt)
+}
+
+// EdgeCut counts edges crossing parts.
+func EdgeCut(g *Graph, part []int32) int64 { return partition.EdgeCut(g, part) }
+
+// Extensions beyond the paper's sections 3-5, implementing its stated
+// ongoing work (Section 6).
+
+// CommunitySpectralOptions configures the spectral modularity maximizer.
+type CommunitySpectralOptions = community.SpectralOptions
+
+// SpectralCommunities detects communities with Newman's
+// leading-eigenvector method over the modularity matrix — the paper's
+// "spectral algorithms that optimize modularity" future-work item.
+func SpectralCommunities(g *Graph, opt CommunitySpectralOptions) Clustering {
+	return community.SpectralCommunities(g, opt)
+}
+
+// IncrementalConnectivity maintains connected components of a growing
+// network online — the paper's dynamic-network analysis direction.
+type IncrementalConnectivity = components.Incremental
+
+// NewIncrementalConnectivity returns an incremental connectivity index
+// over n isolated vertices.
+func NewIncrementalConnectivity(n int) *IncrementalConnectivity {
+	return components.NewIncremental(n)
+}
+
+// PageRankOptions configures the PageRank power iteration.
+type PageRankOptions = centrality.PageRankOptions
+
+// PageRank computes the random-surfer stationary distribution
+// (influential-entity identification).
+func PageRank(g *Graph, opt PageRankOptions) []float64 {
+	if g.Directed() {
+		return centrality.PageRankDirected(g, opt)
+	}
+	return centrality.PageRank(g, opt)
+}
+
+// EigenvectorCentrality computes principal-eigenvector centrality.
+func EigenvectorCentrality(g *Graph) []float64 {
+	return centrality.EigenvectorCentrality(g, 0, 0)
+}
+
+// WeightedBetweenness computes exact betweenness on positively
+// weighted graphs (Brandes with Dijkstra traversals).
+func WeightedBetweenness(g *Graph, opt BetweennessOptions) CentralityScores {
+	return centrality.WeightedBetweenness(g, opt)
+}
+
+// STConnectivity answers an s-t connectivity query with bidirectional
+// search, returning reachability and hop distance.
+func STConnectivity(g *Graph, s, t int32) (bool, int32) {
+	return bfs.STConnectivity(g, s, t)
+}
+
+// KCore returns every vertex's core number (Batagelj–Zaveršnik peeling).
+func KCore(g *Graph) []int32 { return metrics.KCore(g) }
+
+// Degeneracy returns the maximum core number.
+func Degeneracy(g *Graph) int { return metrics.Degeneracy(g) }
+
+// Coverage is the fraction of intra-community edges of a clustering.
+func Coverage(g *Graph, assign []int32) float64 { return community.Coverage(g, assign) }
+
+// Conductance returns per-community conductance (lower is better).
+func Conductance(g *Graph, c Clustering) []float64 {
+	return community.Conductance(g, c.Assign, c.Count)
+}
+
+// NMI scores two clusterings' agreement (1 = identical partitions).
+func NMI(a, b []int32) float64 { return community.NMI(a, b) }
+
+// Louvain runs the multilevel local-moving modularity heuristic
+// (Blondel et al. 2008), included as the modern comparison baseline.
+func Louvain(g *Graph, seed int64) Clustering {
+	return community.Louvain(g, 0, seed)
+}
+
+// CommunityGraph contracts a clustering into its weighted quotient.
+func CommunityGraph(g *Graph, c Clustering) *Graph {
+	return community.MakeQuotient(g, c.Assign, c.Count).Graph
+}
+
+// Attributes is a typed vertex/edge attribute side table.
+type Attributes = graph.Attributes
+
+// NewAttributes returns an empty attribute table for g.
+func NewAttributes(g *Graph) *Attributes { return graph.NewAttributes(g) }
+
+// WriteMETIS / ReadMETIS interoperate with the METIS/Chaco graph format.
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+func ReadMETIS(r io.Reader) (*Graph, error)  { return graph.ReadMETIS(r) }
+
+// WriteDIMACS / ReadDIMACS interoperate with the DIMACS edge format.
+func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+func ReadDIMACS(r io.Reader) (*Graph, error)  { return graph.ReadDIMACS(r) }
+
+// WriteDOT exports GraphViz DOT, optionally colored by communities.
+func WriteDOT(w io.Writer, g *Graph, assign []int32) error {
+	return graph.WriteDOT(w, g, assign)
+}
+
+// InducedSubgraph extracts the subgraph on the given vertices, with
+// the mapping from new ids back to the originals.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32, error) {
+	return graph.InducedSubgraph(g, vertices)
+}
+
+// BFSDirectionOptimizing runs the direction-optimizing (top-down /
+// bottom-up hybrid) BFS, the fastest traversal on small-world graphs
+// whose middle levels cover most vertices.
+func BFSDirectionOptimizing(g *Graph, src int32) BFSResult {
+	return bfs.DirectionOptimizing(g, src, bfs.Options{})
+}
+
+// RCMOrder computes a reverse Cuthill-McKee cache-friendly ordering
+// (perm[newID] = oldID).
+func RCMOrder(g *Graph) []int32 { return graph.RCMOrder(g) }
+
+// Permute relabels g under perm, returning the relabeled graph and the
+// old-to-new id map.
+func Permute(g *Graph, perm []int32) (*Graph, []int32) { return graph.Permute(g, perm) }
+
+// Bandwidth reports the maximum id distance across any edge (the
+// quantity RCM minimizes).
+func Bandwidth(g *Graph) int64 { return graph.Bandwidth(g) }
+
+// StronglyConnectedComponents computes SCCs of a directed graph
+// (iterative Tarjan); undirected graphs yield connected components.
+func StronglyConnectedComponents(g *Graph) Components {
+	return components.StronglyConnected(g)
+}
+
+// Condensation builds the DAG of strongly connected components.
+func Condensation(g *Graph, scc Components) *Graph {
+	return components.Condensation(g, scc)
+}
+
+// ApproxCloseness estimates closeness centrality by pivot sampling
+// (Eppstein–Wang).
+func ApproxCloseness(g *Graph, samples int, seed int64) []float64 {
+	return centrality.ApproxCloseness(g, samples, seed, 0)
+}
+
+// LabelPropagation runs the Raghavan–Albert–Kumara community heuristic.
+func LabelPropagation(g *Graph, seed int64) Clustering {
+	return community.LabelPropagation(g, 0, seed)
+}
+
+// RewireDegreePreserving randomizes g while preserving its exact
+// degree sequence (the configuration-model null graph behind
+// modularity's "expected at random" term).
+func RewireDegreePreserving(g *Graph, swaps int, seed int64) *Graph {
+	return generate.RewireDegreePreserving(g, swaps, seed)
+}
+
+// PowerLawAlpha fits a discrete power-law exponent to the degree
+// distribution by maximum likelihood (Clauset–Shalizi–Newman).
+func PowerLawAlpha(g *Graph, dmin int) (float64, int) {
+	return metrics.PowerLawAlpha(g, dmin)
+}
+
+// Diameter computes the exact diameter of the largest component (iFUB).
+func Diameter(g *Graph) int { return metrics.Diameter(g) }

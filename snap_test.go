@@ -1,0 +1,323 @@
+package snap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end the way a
+// downstream user would.
+
+func TestFacadeBuildAndKernels(t *testing.T) {
+	g, err := Build(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+		{U: 2, V: 3},
+	}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := BFS(g, 0)
+	if r.Dist[5] != 3 {
+		t.Fatalf("BFS dist[5] = %d, want 3", r.Dist[5])
+	}
+	if got := BFSSerial(g, 0); got.Dist[5] != 3 {
+		t.Fatalf("serial BFS differs: %d", got.Dist[5])
+	}
+	cc := ConnectedComponents(g)
+	if cc.Count != 1 {
+		t.Fatalf("components = %d", cc.Count)
+	}
+	bi := Biconnected(g)
+	if len(bi.Bridges()) != 1 {
+		t.Fatalf("bridges = %v", bi.Bridges())
+	}
+	mst := MST(g)
+	if len(mst.EdgeIDs) != 5 {
+		t.Fatalf("MST edges = %d, want n-1 = 5", len(mst.EdgeIDs))
+	}
+	sp := ShortestPaths(g, 0)
+	dj := Dijkstra(g, 0)
+	for v := range sp.Dist {
+		if sp.Dist[v] != dj.Dist[v] {
+			t.Fatalf("delta-stepping differs from dijkstra at %d", v)
+		}
+	}
+}
+
+func TestFacadeCentralityAndMetrics(t *testing.T) {
+	g := RMAT(512, 2048, DefaultRMAT(), 1)
+	bc := Betweenness(g, BetweennessOptions{ComputeVertex: true})
+	if len(bc.Vertex) != 512 {
+		t.Fatal("vertex scores missing")
+	}
+	ab := ApproxBetweenness(g, ApproxOptions{Seed: 1})
+	if ab.Sources <= 0 {
+		t.Fatal("approx used no sources")
+	}
+	if len(DegreeCentrality(g)) != 512 {
+		t.Fatal("degree centrality size")
+	}
+	if len(Closeness(g)) != 512 {
+		t.Fatal("closeness size")
+	}
+	top := TopKVertices(bc.Vertex, 5)
+	if len(top) != 5 {
+		t.Fatal("top-k size")
+	}
+	if c := ClusteringCoefficient(g); c < 0 || c > 1 {
+		t.Fatalf("clustering coefficient %g out of range", c)
+	}
+	if a := Assortativity(g); a < -1 || a > 1 {
+		t.Fatalf("assortativity %g out of range", a)
+	}
+	if avg, _ := AvgPathLength(g); avg <= 0 {
+		t.Fatalf("avg path length %g", avg)
+	}
+	st := Degrees(g)
+	if st.Max <= 0 {
+		t.Fatal("degree stats empty")
+	}
+	_ = LocalClustering(g)
+	_ = RichClub(g)
+	_ = AvgNeighborDegree(g)
+}
+
+func TestFacadeCommunity(t *testing.T) {
+	g, truth := PlantedPartition(4, 25, 0.5, 0.01, 3)
+	truthQ := Modularity(g, truth)
+	gn, _ := GirvanNewman(g, GNOptions{MaxRemovals: 200})
+	pbd, _ := PBD(g, PBDOptions{Seed: 1, Patience: 60})
+	pma, dend := PMA(g, PMAOptions{StopWhenNegative: true})
+	pla := PLA(g, PLAOptions{Seed: 1})
+	if dend.Len() == 0 {
+		t.Fatal("pMA dendrogram empty")
+	}
+	for name, q := range map[string]float64{
+		"GN": gn.Q, "PBD": pbd.Q, "PMA": pma.Q, "PLA": pla.Q,
+	} {
+		if q < truthQ*0.85 {
+			t.Fatalf("%s Q = %.3f below 85%% of truth %.3f", name, q, truthQ)
+		}
+	}
+	ref := RefineClustering(g, pma, 8, 1)
+	if ref.Q < pma.Q-1e-12 {
+		t.Fatal("refine decreased Q")
+	}
+}
+
+func TestFacadePartitioning(t *testing.T) {
+	mesh := RoadMesh(30, 30, 0, 2)
+	sw := RMAT(900, mesh.NumEdges(), DefaultRMAT(), 2)
+	km, err := MultilevelKWay(mesh, 4, MultilevelOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := MultilevelKWay(sw, 4, MultilevelOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.EdgeCut <= km.EdgeCut {
+		t.Fatalf("small-world cut %d should exceed mesh cut %d", ks.EdgeCut, km.EdgeCut)
+	}
+	if km.EdgeCut != EdgeCut(mesh, km.Part) {
+		t.Fatal("EdgeCut mismatch")
+	}
+	rec, err := MultilevelRecursive(mesh, 4, MultilevelOptions{Seed: 1})
+	if err != nil || rec.Balance > 1.2 {
+		t.Fatalf("recursive: %v balance %.2f", err, rec.Balance)
+	}
+	if _, err := SpectralRQI(mesh, 2, SpectralOptions{Seed: 1}); err != nil {
+		t.Fatalf("spectral rqi on mesh: %v", err)
+	}
+	if _, err := SpectralLanczos(mesh, 2, SpectralOptions{Seed: 1}); err != nil {
+		t.Fatalf("spectral lanczos on mesh: %v", err)
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := WattsStrogatz(64, 4, 0.1, 1)
+	var txt bytes.Buffer
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&txt, false)
+	if err != nil || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("text round trip: %v", err)
+	}
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ReadBinary(&bin)
+	if err != nil || g3.NumEdges() != g.NumEdges() {
+		t.Fatalf("binary round trip: %v", err)
+	}
+}
+
+func TestFacadeDynamic(t *testing.T) {
+	d := NewDynamic(10, false)
+	for v := int32(1); v < 10; v++ {
+		if _, err := d.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := FromDynamic(d)
+	if g.NumEdges() != 9 || g.Degree(0) != 9 {
+		t.Fatalf("dynamic freeze wrong: %v", g)
+	}
+	u := Undirected(g)
+	if u != g {
+		t.Fatal("Undirected of undirected should be identity")
+	}
+}
+
+func TestFacadeModularityMatchesManual(t *testing.T) {
+	g, _ := Build(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+		{U: 2, V: 3},
+	}, BuildOptions{})
+	q := Modularity(g, []int32{0, 0, 0, 1, 1, 1})
+	if math.Abs(q-(6.0/7-0.5)) > 1e-12 {
+		t.Fatalf("Q = %g", q)
+	}
+}
+
+func TestFacadeSpectralCommunities(t *testing.T) {
+	g, truth := PlantedPartition(3, 30, 0.5, 0.01, 9)
+	c := SpectralCommunities(g, CommunitySpectralOptions{Seed: 1, Refine: true})
+	if c.Q < Modularity(g, truth)*0.9 {
+		t.Fatalf("spectral communities Q = %.3f too low", c.Q)
+	}
+}
+
+func TestFacadeIncrementalConnectivity(t *testing.T) {
+	inc := NewIncrementalConnectivity(4)
+	inc.AddEdge(0, 1)
+	inc.AddEdge(2, 3)
+	if inc.Components() != 2 || inc.Connected(0, 2) {
+		t.Fatal("incremental connectivity wrong")
+	}
+	inc.AddEdge(1, 2)
+	if !inc.Connected(0, 3) {
+		t.Fatal("merge not reflected")
+	}
+}
+
+func TestFacadeNewKernels(t *testing.T) {
+	g := RMAT(400, 1600, DefaultRMAT(), 6)
+	pr := PageRank(g, PageRankOptions{})
+	var s float64
+	for _, v := range pr {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-6 {
+		t.Fatalf("PageRank sum %g", s)
+	}
+	if len(EigenvectorCentrality(g)) != 400 {
+		t.Fatal("eigenvector size")
+	}
+	if ok, d := STConnectivity(g, 0, 0); !ok || d != 0 {
+		t.Fatal("stcon self")
+	}
+	core := KCore(g)
+	if len(core) != 400 || Degeneracy(g) <= 0 {
+		t.Fatal("kcore")
+	}
+	r := BFSDirectionOptimizing(g, 0)
+	want := BFSSerial(g, 0)
+	for v := range want.Dist {
+		if r.Dist[v] != want.Dist[v] {
+			t.Fatal("direction-optimizing BFS differs")
+		}
+	}
+	perm := RCMOrder(g)
+	rg, _ := Permute(g, perm)
+	if Bandwidth(rg) <= 0 || rg.NumEdges() != g.NumEdges() {
+		t.Fatal("rcm/permute")
+	}
+	scc := StronglyConnectedComponents(g)
+	if scc.Count < 1 {
+		t.Fatal("scc")
+	}
+	_ = Condensation(g, scc)
+}
+
+func TestFacadeLouvainAndQuality(t *testing.T) {
+	g, truth := PlantedPartition(4, 30, 0.5, 0.01, 4)
+	lv := Louvain(g, 1)
+	if lv.Q < Modularity(g, truth)*0.9 {
+		t.Fatalf("louvain Q %.3f too low", lv.Q)
+	}
+	if NMI(truth, lv.Assign) < 0.85 {
+		t.Fatal("louvain NMI too low")
+	}
+	if Coverage(g, lv.Assign) <= 0.5 {
+		t.Fatal("coverage too low")
+	}
+	cond := Conductance(g, lv)
+	if len(cond) != lv.Count {
+		t.Fatal("conductance size")
+	}
+	cg := CommunityGraph(g, lv)
+	if cg.NumVertices() != lv.Count {
+		t.Fatal("community graph size")
+	}
+}
+
+func TestFacadeFormats(t *testing.T) {
+	g := WattsStrogatz(40, 4, 0.2, 2)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("metis: %v", err)
+	}
+	buf.Reset()
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := InducedSubgraph(g, []int32{0, 1, 2, 3})
+	if err != nil || sub.NumVertices() != 4 {
+		t.Fatalf("induced: %v", err)
+	}
+	at := NewAttributes(g)
+	if err := at.SetVertexString("label", 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLatestExtensions(t *testing.T) {
+	g, truth := PlantedPartition(3, 40, 0.5, 0.005, 12)
+	lpa := LabelPropagation(g, 2)
+	if NMI(truth, lpa.Assign) < 0.8 {
+		t.Fatalf("LPA NMI too low")
+	}
+	ac := ApproxCloseness(g, 24, 3)
+	if len(ac) != g.NumVertices() {
+		t.Fatal("approx closeness size")
+	}
+	rw := RewireDegreePreserving(g, 5000, 4)
+	if rw.NumEdges() != g.NumEdges() {
+		t.Fatal("rewire changed m")
+	}
+	if d := Diameter(g); d < 2 {
+		t.Fatalf("diameter = %d", d)
+	}
+	ba := PreferentialAttachment(3000, 3, 5)
+	alpha, cnt := PowerLawAlpha(ba, 3)
+	if cnt == 0 || alpha < 1.5 || alpha > 5 {
+		t.Fatalf("alpha = %g (%d samples)", alpha, cnt)
+	}
+}

@@ -8,10 +8,13 @@ package snap
 import (
 	"testing"
 
+	"snap/internal/bfs"
+	"snap/internal/centrality"
 	"snap/internal/community"
 	"snap/internal/datasets"
 	"snap/internal/generate"
 	"snap/internal/graph"
+	"snap/internal/metrics"
 	"snap/internal/partition"
 )
 
@@ -225,5 +228,95 @@ func BenchmarkKernel_ApproxBetweennessEdge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ApproxBetweenness(g, ApproxOptions{Seed: int64(i), ComputeEdge: true})
+	}
+}
+
+// --- Workspace group: allocation-regression benchmarks for the
+// epoch-stamped traversal workspaces (multi-source BFS hot paths).
+// Run with -benchmem; allocs/op is the tracked regression metric.
+
+func workspaceGraph() *graph.Graph {
+	return generate.RMAT(1<<12, 1<<14, generate.DefaultRMAT(), 7)
+}
+
+func workspaceSources(n, k int) []int32 {
+	sources := make([]int32, k)
+	for i := range sources {
+		sources[i] = int32(i * (n / k))
+	}
+	return sources
+}
+
+func BenchmarkWorkspaceCloseness(b *testing.B) {
+	g := workspaceGraph()
+	sources := workspaceSources(g.NumVertices(), 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		centrality.Closeness(g, centrality.ClosenessOptions{Sources: sources})
+	}
+}
+
+func BenchmarkWorkspaceDiameter(b *testing.B) {
+	g := workspaceGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Diameter(g)
+	}
+}
+
+func BenchmarkWorkspaceMultiSource(b *testing.B) {
+	g := workspaceGraph()
+	sources := workspaceSources(g.NumVertices(), 64)
+	totals := make([]int64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs.MultiSourceWorkspace(g, sources, -1, 16, func(w, _ int, ws *bfs.Workspace) {
+			totals[w] += int64(ws.Reached())
+		})
+	}
+}
+
+// BenchmarkWorkspaceMultiSourceLegacy measures the compatibility
+// wrapper, which materializes a dense Result per source and serializes
+// visit — the pre-workspace allocation behavior, kept as the
+// regression baseline.
+func BenchmarkWorkspaceMultiSourceLegacy(b *testing.B) {
+	g := workspaceGraph()
+	sources := workspaceSources(g.NumVertices(), 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int64
+		bfs.MultiSource(g, sources, -1, 0, func(_ int, r bfs.Result) {
+			total += int64(r.Reached())
+		})
+	}
+}
+
+// BenchmarkWorkspaceSerialClosenessBaseline is the pre-change closeness
+// inner loop — one freshly allocated bfs.Serial per source — kept so
+// the allocation win of the workspace path stays visible in-tree.
+func BenchmarkWorkspaceSerialClosenessBaseline(b *testing.B) {
+	g := workspaceGraph()
+	sources := workspaceSources(g.NumVertices(), 64)
+	out := make([]float64, g.NumVertices())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range sources {
+			r := bfs.Serial(g, v, nil)
+			var total int64
+			for _, d := range r.Dist {
+				if d > 0 {
+					total += int64(d)
+				}
+			}
+			if total > 0 {
+				out[v] = 1 / float64(total)
+			}
+		}
 	}
 }

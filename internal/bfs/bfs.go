@@ -163,49 +163,76 @@ func (r Result) Reached() int {
 	return c
 }
 
-// MultiSource runs independent BFS traversals from each source
-// concurrently — the paper's "path-limited searches" coarse-grained
-// paradigm — and calls visit(i, result) for each, in any order.
+// MultiSourceWorkspace runs independent BFS traversals from each
+// source across up to `workers` goroutines — the paper's "path-limited
+// searches" coarse-grained paradigm — with each worker reusing one
+// epoch-stamped Workspace, so the whole sweep allocates O(workers)
+// scratch instead of O(len(sources)·n).
+//
+// visit(worker, i, ws) is invoked CONCURRENTLY (there is no global
+// serialization, unlike the legacy MultiSource): worker ids are stable
+// and distinct in [0, workers), and each source index i is visited
+// exactly once, so callers reduce without locking either into
+// per-worker accumulators (indexed by worker) or into disjoint
+// per-source slots (indexed by i). The workspace is owned by the
+// worker; its contents are valid only for the duration of the call.
 // maxDepth < 0 means unlimited; otherwise traversal stops after that
 // many levels (path-limited search).
-func MultiSource(g *graph.Graph, sources []int32, maxDepth int32, workers int, visit func(i int, r Result)) {
+func MultiSourceWorkspace(g *graph.Graph, sources []int32, maxDepth int32, workers int, visit func(worker, i int, ws *Workspace)) {
 	if workers <= 0 {
 		workers = par.Workers()
 	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if len(sources) == 0 {
+		return
+	}
+	n := g.NumVertices()
+	if workers <= 1 {
+		ws := AcquireWorkspace(n)
+		for i, src := range sources {
+			ws.Run(g, src, nil, maxDepth)
+			visit(0, i, ws)
+		}
+		ReleaseWorkspace(ws)
+		return
+	}
+	// Guided scheduling: workers claim one source at a time from a
+	// shared counter (per-source BFS cost is irregular on skewed
+	// graphs, so static chunking would load-imbalance).
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ws := AcquireWorkspace(n)
+			defer ReleaseWorkspace(ws)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				ws.Run(g, sources[i], nil, maxDepth)
+				visit(w, i, ws)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// MultiSource is the legacy multi-source entry point, kept for
+// compatibility: visit(i, result) calls are serialized under a mutex
+// and each receives a freshly allocated dense Result it may retain.
+// New code should use MultiSourceWorkspace, which neither serializes
+// the reduction nor allocates per source.
+func MultiSource(g *graph.Graph, sources []int32, maxDepth int32, workers int, visit func(i int, r Result)) {
 	var mu sync.Mutex
-	par.ForGuidedN(len(sources), 1, workers, func(i int) {
-		r := limitedSerial(g, sources[i], maxDepth)
+	MultiSourceWorkspace(g, sources, maxDepth, workers, func(_, i int, ws *Workspace) {
+		r := ws.Export()
 		mu.Lock()
 		visit(i, r)
 		mu.Unlock()
 	})
-}
-
-func limitedSerial(g *graph.Graph, src int32, maxDepth int32) Result {
-	n := g.NumVertices()
-	dist := make([]int32, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = Unreached
-		parent[i] = -1
-	}
-	dist[src] = 0
-	parent[src] = src
-	queue := []int32{src}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		if maxDepth >= 0 && dist[v] >= maxDepth {
-			continue
-		}
-		lo, hi := g.Offsets[v], g.Offsets[v+1]
-		for a := lo; a < hi; a++ {
-			u := g.Adj[a]
-			if dist[u] == Unreached {
-				dist[u] = dist[v] + 1
-				parent[u] = v
-				queue = append(queue, u)
-			}
-		}
-	}
-	return Result{Dist: dist, Parent: parent}
 }

@@ -153,7 +153,8 @@ func ApproxVertexBetweenness(g *graph.Graph, v int32, opt ApproxOptions) (score 
 	rng := rand.New(rand.NewSource(opt.Seed))
 	perm := rng.Perm(n)
 	threshold := opt.Alpha * float64(n)
-	st := newBrandesState(n)
+	st := acquireBrandesState(n)
+	defer releaseBrandesState(st)
 	acc := make([]float64, n)
 	budget := n // the adaptive test is the primary stop; exactness the fallback
 	used := 0

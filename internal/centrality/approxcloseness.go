@@ -35,16 +35,38 @@ func ApproxCloseness(g *graph.Graph, samples int, seed int64, workers int) []flo
 	for i := range pivots {
 		pivots[i] = int32(perm[i])
 	}
-	totals := make([]float64, n)
-	counts := make([]int32, n)
-	bfs.MultiSource(g, pivots, -1, workers, func(_ int, r bfs.Result) {
-		for v, d := range r.Dist {
-			if d >= 0 {
-				totals[v] += float64(d)
-				counts[v]++
-			}
+	// Per-worker accumulators (the coarse-grained O(p·n) trade-off, as
+	// in coarse-grained betweenness): each worker folds its pivots'
+	// distance vectors into private arrays with no serialization, and
+	// the p partial sums are merged once at the end. Buffers are
+	// allocated lazily so only workers that actually run pay O(n).
+	type pivotAcc struct {
+		totals []float64
+		counts []int32
+	}
+	accs := make([]pivotAcc, workers)
+	bfs.MultiSourceWorkspace(g, pivots, -1, workers, func(w, _ int, ws *bfs.Workspace) {
+		a := &accs[w]
+		if a.totals == nil {
+			a.totals = make([]float64, n)
+			a.counts = make([]int32, n)
+		}
+		for _, v := range ws.Order() {
+			a.totals[v] += float64(ws.Dist(v))
+			a.counts[v]++
 		}
 	})
+	totals := make([]float64, n)
+	counts := make([]int32, n)
+	for _, a := range accs {
+		if a.totals == nil {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			totals[v] += a.totals[v]
+			counts[v] += a.counts[v]
+		}
+	}
 	out := make([]float64, n)
 	for v := 0; v < n; v++ {
 		if counts[v] == 0 || totals[v] == 0 {

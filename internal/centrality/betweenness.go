@@ -87,7 +87,7 @@ func betweennessCoarse(g *graph.Graph, opt BetweennessOptions, sources []int32, 
 	}
 	accs := make([]acc, workers)
 	par.ForChunkedN(len(sources), workers, func(w, lo, hi int) {
-		st := newBrandesState(n)
+		st := acquireBrandesState(n)
 		a := acc{}
 		if opt.ComputeVertex {
 			a.vertex = make([]float64, n)
@@ -98,6 +98,7 @@ func betweennessCoarse(g *graph.Graph, opt BetweennessOptions, sources []int32, 
 		for i := lo; i < hi; i++ {
 			st.run(g, sources[i], opt.Alive, a.vertex, a.edge)
 		}
+		releaseBrandesState(st)
 		accs[w] = a
 	})
 	out := Scores{Sources: len(sources)}
@@ -128,7 +129,12 @@ func halve(xs []float64) {
 	}
 }
 
-// brandesState is the per-worker scratch of one Brandes traversal.
+// brandesState is the per-worker scratch of one Brandes traversal. It
+// maintains a clean-between-runs invariant — every dist entry is -1 and
+// every sigma/delta entry is 0 whenever no run is in progress — so a
+// run resets nothing up front and instead sparsely restores exactly the
+// vertices it touched (listed in order) before returning: O(touched)
+// per source instead of the former wholesale O(n) re-zeroing.
 type brandesState struct {
 	dist  []int32
 	sigma []float64
@@ -136,24 +142,51 @@ type brandesState struct {
 	order []int32 // vertices in BFS visitation order
 }
 
-func newBrandesState(n int) *brandesState {
-	return &brandesState{
-		dist:  make([]int32, n),
-		sigma: make([]float64, n),
-		delta: make([]float64, n),
-		order: make([]int32, 0, n),
+// brandesPool amortizes Brandes scratch across calls: the batched
+// sampling loop of ApproxBetweenness re-acquires states every batch
+// and gets the previous batch's allocations back.
+var brandesPool = par.NewPool(func() *brandesState { return &brandesState{} })
+
+// acquireBrandesState returns a pooled state sized for n vertices,
+// satisfying the clean invariant. Release with releaseBrandesState.
+func acquireBrandesState(n int) *brandesState {
+	st := brandesPool.Get()
+	st.resize(n)
+	return st
+}
+
+func releaseBrandesState(st *brandesState) { brandesPool.Put(st) }
+
+func (st *brandesState) resize(n int) {
+	if cap(st.dist) < n || cap(st.sigma) < n || cap(st.delta) < n {
+		st.dist = make([]int32, n)
+		// Initialize through the full capacity (make may round the
+		// allocation up), so a later in-place grow still sees -1.
+		full := st.dist[:cap(st.dist)]
+		for i := range full {
+			full[i] = -1
+		}
+		st.sigma = make([]float64, n)
+		st.delta = make([]float64, n)
+	} else {
+		// Shrinks and in-cap grows keep the clean invariant: every
+		// entry ever touched by a run was restored on that run's exit,
+		// and never-touched capacity is -1 (dist) or zero (sigma/delta)
+		// from allocation.
+		st.dist = st.dist[:n]
+		st.sigma = st.sigma[:n]
+		st.delta = st.delta[:n]
 	}
+	if st.order == nil {
+		st.order = make([]int32, 0, 256)
+	}
+	st.order = st.order[:0]
 }
 
 // run performs one source traversal and accumulates dependencies into
 // vertexAcc and/or edgeAcc (either may be nil).
 func (st *brandesState) run(g *graph.Graph, s int32, alive []bool, vertexAcc, edgeAcc []float64) {
 	dist, sigma, delta := st.dist, st.sigma, st.delta
-	for i := range dist {
-		dist[i] = -1
-		sigma[i] = 0
-		delta[i] = 0
-	}
 	order := st.order[:0]
 	dist[s] = 0
 	sigma[s] = 1
@@ -200,6 +233,13 @@ func (st *brandesState) run(g *graph.Graph, s int32, alive []bool, vertexAcc, ed
 			vertexAcc[w] += delta[w]
 		}
 	}
+	// Restore the clean invariant sparsely: only vertices in the
+	// visitation order carry traversal state.
+	for _, v := range order {
+		dist[v] = -1
+		sigma[v] = 0
+		delta[v] = 0
+	}
 }
 
 // betweennessFine runs traversals one at a time but parallelizes the
@@ -215,28 +255,36 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 	if opt.ComputeEdge {
 		out.Edge = make([]float64, m)
 	}
+	// dist/sigma/delta follow the same clean-between-sources invariant
+	// as brandesState: initialized densely once, then restored sparsely
+	// after each source over exactly the visited vertices.
 	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
 	sigma := make([]float64, n)
 	delta := make([]float64, n)
-	levels := make([][]int32, 0, 64)
+	// BFS levels are recorded flat — level li occupies
+	// flat[offs[li]:offs[li+1]] — so recording a level is an amortized
+	// copy into one reused buffer instead of a fresh slice per level.
+	flat := make([]int32, 0, n)
+	offs := make([]int, 1, 64)
+	frontier := make([]int32, 0, 256)
 	nexts := make([][]int32, workers)
 	for i := range nexts {
 		nexts[i] = make([]int32, 0, 256)
 	}
 
 	for _, s := range sources {
-		for i := range dist {
-			dist[i] = -1
-			sigma[i] = 0
-			delta[i] = 0
-		}
-		levels = levels[:0]
+		flat = flat[:0]
+		offs = offs[:1]
 		dist[s] = 0
 		sigma[s] = 1
-		frontier := []int32{s}
+		frontier = append(frontier[:0], s)
 		d := int32(0)
 		for len(frontier) > 0 {
-			levels = append(levels, append([]int32(nil), frontier...))
+			flat = append(flat, frontier...)
+			offs = append(offs, len(flat))
 			d++
 			for i := range nexts {
 				nexts[i] = nexts[i][:0]
@@ -288,8 +336,8 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 		// is final when a level is processed, and within a level each
 		// w is owned by one worker. Accumulation into predecessors'
 		// delta and into edge scores uses atomic float adds.
-		for li := len(levels) - 1; li > 0; li-- {
-			level := levels[li]
+		for li := len(offs) - 2; li > 0; li-- {
+			level := flat[offs[li]:offs[li+1]]
 			par.ForChunkedN(len(level), workers, func(_, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					w := level[i]
@@ -313,6 +361,13 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 					}
 				}
 			})
+		}
+		// Restore the clean invariant sparsely: flat holds exactly the
+		// vertices this source's traversal touched.
+		for _, v := range flat {
+			dist[v] = -1
+			sigma[v] = 0
+			delta[v] = 0
 		}
 	}
 	if !g.Directed() {

@@ -2,6 +2,7 @@ package centrality
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"snap/internal/generate"
@@ -232,6 +233,67 @@ func TestTopKVertices(t *testing.T) {
 	top := TopKVertices(scores, 2)
 	if top[0] != 1 || top[1] != 2 {
 		t.Fatalf("TopKVertices = %v", top)
+	}
+}
+
+// topKReference is the original O(n·k) partial selection sort, kept as
+// the oracle pinning the ordering contract: descending score, ties
+// toward the smaller index.
+func topKReference(scores []float64, k int) []int32 {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int32, len(scores))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			si, sj := scores[idx[j]], scores[idx[best]]
+			if si > sj || (si == sj && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+// The bounded-heap TopKVertices must reproduce the selection-sort
+// order exactly, including tie-breaks toward the smaller index, on
+// heavily tied inputs.
+func TestTopKVerticesTieBreakMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(5)) // few distinct values => many ties
+		}
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 10} {
+			got := TopKVertices(scores, k)
+			want := topKReference(scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: order %v, want %v (scores %v)", n, k, got, want, scores)
+				}
+			}
+		}
+	}
+}
+
+// All-ties input: output must be the first k indices in ascending order.
+func TestTopKVerticesAllTied(t *testing.T) {
+	scores := make([]float64, 20)
+	got := TopKVertices(scores, 7)
+	for i := range got {
+		if got[i] != int32(i) {
+			t.Fatalf("all-tied TopK = %v, want ascending prefix", got)
+		}
 	}
 }
 

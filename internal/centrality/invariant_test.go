@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"snap/internal/bfs"
 	"snap/internal/components"
 	"snap/internal/generate"
 )
@@ -50,9 +51,8 @@ func TestBetweennessSumIdentity(t *testing.T) {
 		// Count sum over unordered connected pairs of (d(s,t) − 1).
 		var want float64
 		for s := int32(0); int(s) < g.NumVertices(); s++ {
-			st := newBrandesState(g.NumVertices())
-			st.run(g, s, nil, nil, nil)
-			for v, d := range st.dist {
+			r := bfs.Serial(g, s, nil)
+			for v, d := range r.Dist {
 				if d > 0 && int32(v) > s {
 					want += float64(d - 1)
 				}

@@ -45,17 +45,13 @@ func Closeness(g *graph.Graph, opt ClosenessOptions) []float64 {
 		}
 	}
 	out := make([]float64, n)
-	par.ForGuidedN(len(sources), 1, workers, func(i int) {
-		v := sources[i]
-		r := bfs.Serial(g, v, nil)
-		var total int64
-		for _, d := range r.Dist {
-			if d > 0 {
-				total += int64(d)
-			}
-		}
-		if total > 0 {
-			out[v] = 1 / float64(total)
+	// One epoch-stamped workspace per worker: O(reached) work per
+	// source with zero steady-state allocation, and the reduction is
+	// index-addressed (out[v] slots are disjoint across sources), so no
+	// serialization is needed.
+	bfs.MultiSourceWorkspace(g, sources, -1, workers, func(_, i int, ws *bfs.Workspace) {
+		if total := ws.SumDist(); total > 0 {
+			out[sources[i]] = 1 / float64(total)
 		}
 	})
 	return out
@@ -67,20 +63,66 @@ func TopKVertices(scores []float64, k int) []int32 {
 	if k > len(scores) {
 		k = len(scores)
 	}
-	idx := make([]int32, len(scores))
-	for i := range idx {
-		idx[i] = int32(i)
+	if k <= 0 {
+		return []int32{}
 	}
-	// Partial selection sort is fine for the small k used in analyses.
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(idx); j++ {
-			si, sj := scores[idx[j]], scores[idx[best]]
-			if si > sj || (si == sj && idx[j] < idx[best]) {
-				best = j
-			}
+	// Bounded min-heap on (score, -index): the root is the weakest kept
+	// vertex — smallest score, ties toward the LARGER index, so that a
+	// tied smaller index displaces it. O(n log k) versus the old
+	// partial selection sort's O(n·k).
+	heap := make([]int32, 0, k)
+	worse := func(a, b int32) bool { // a ranks strictly below b
+		if scores[a] != scores[b] {
+			return scores[a] < scores[b]
 		}
-		idx[i], idx[best] = idx[best], idx[i]
+		return a > b
 	}
-	return idx[:k]
+	push := func(v int32) {
+		heap = append(heap, v)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	popRoot := func() {
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && worse(heap[l], heap[small]) {
+				small = l
+			}
+			if r < last && worse(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for v := int32(0); int(v) < len(scores); v++ {
+		if len(heap) < k {
+			push(v)
+		} else if worse(heap[0], v) {
+			popRoot()
+			push(v)
+		}
+	}
+	// Extract ascending (weakest first), filling the output backwards.
+	out := make([]int32, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = heap[0]
+		popRoot()
+	}
+	return out
 }

@@ -11,6 +11,12 @@ import (
 // the deepest fringe layers of a central root until the upper bound
 // meets the best eccentricity found. On small-world graphs this
 // terminates after a handful of traversals instead of n.
+//
+// All traversals share one epoch-stamped workspace, so the whole
+// computation performs O(1) heap allocation regardless of how many
+// fringe vertices iFUB has to scan, and each eccentricity probe reads
+// MaxDist in O(1) from the traversal order instead of scanning an
+// O(n) distance vector.
 func Diameter(g *graph.Graph) int {
 	n := g.NumVertices()
 	if n == 0 {
@@ -27,31 +33,45 @@ func Diameter(g *graph.Graph) int {
 	if g.Degree(start) == 0 {
 		return 0
 	}
+	ws := bfs.AcquireWorkspace(n)
+	defer bfs.ReleaseWorkspace(ws)
 	// Double sweep: farthest from start, then farthest from there.
-	r1 := bfs.Serial(g, start, nil)
-	a := farthest(r1)
-	r2 := bfs.Serial(g, a, nil)
-	b := farthest(r2)
-	lower := int(r2.Dist[b])
-	// Root the iFUB search at the midpoint of the a-b path.
+	ws.Run(g, start, nil, -1)
+	a := farthest(ws)
+	ws.Run(g, a, nil, -1)
+	b := farthest(ws)
+	lower := int(ws.Dist(b))
+	// Root the iFUB search at the midpoint of the a-b path (walked now,
+	// before the workspace is reused for the next traversal).
 	mid := b
 	for hop := 0; hop < lower/2; hop++ {
-		mid = r2.Parent[mid]
+		mid = ws.Parent(mid)
 	}
-	rm := bfs.Serial(g, mid, nil)
-	ecc := int(rm.MaxDist())
-	// Layers of the mid-rooted BFS tree, deepest first.
-	layers := make([][]int32, ecc+1)
-	for v, d := range rm.Dist {
-		if d >= 0 {
-			layers[d] = append(layers[d], int32(v))
+	ws.Run(g, mid, nil, -1)
+	ecc := int(ws.MaxDist())
+	// Layers of the mid-rooted BFS tree. The visitation order is sorted
+	// by distance, so layer d is the contiguous run
+	// order[bounds[d]:bounds[d+1]] — two allocations total (the order
+	// must be copied before the workspace is reused below).
+	order := append([]int32(nil), ws.Order()...)
+	bounds := make([]int, ecc+2)
+	d := int32(0)
+	for i, v := range order {
+		for dv := ws.Dist(v); d < dv; {
+			d++
+			bounds[d] = i
 		}
+	}
+	for int(d) <= ecc {
+		d++
+		bounds[d] = len(order)
 	}
 	best := lower
 	upper := 2 * ecc
 	for depth := ecc; depth > 0 && upper > best; depth-- {
-		for _, v := range layers[depth] {
-			if e := int(bfs.Serial(g, v, nil).MaxDist()); e > best {
+		for _, v := range order[bounds[depth]:bounds[depth+1]] {
+			ws.Run(g, v, nil, -1)
+			if e := int(ws.MaxDist()); e > best {
 				best = e
 			}
 		}
@@ -62,13 +82,15 @@ func Diameter(g *graph.Graph) int {
 	return best
 }
 
-func farthest(r bfs.Result) int32 {
+// farthest returns the reached vertex with the largest distance in the
+// workspace's latest traversal, breaking ties toward the smaller
+// vertex id (matching the historical dense-scan selection).
+func farthest(ws *bfs.Workspace) int32 {
 	best := int32(0)
 	bd := int32(-1)
-	for v, d := range r.Dist {
-		if d > bd {
-			bd = d
-			best = int32(v)
+	for _, v := range ws.Order() {
+		if d := ws.Dist(v); d > bd || (d == bd && v < best) {
+			bd, best = d, v
 		}
 	}
 	return best

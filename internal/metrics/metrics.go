@@ -287,19 +287,34 @@ func AvgPathLength(g *graph.Graph, opt PathLengthOptions) (avg float64, diamLB i
 	for i := range sources {
 		sources[i] = int32(perm[i])
 	}
-	var totalDist, totalPairs int64
-	var maxD int32
-	bfs.MultiSource(g, sources, -1, workers, func(_ int, r bfs.Result) {
-		for _, d := range r.Dist {
-			if d > 0 {
-				totalDist += int64(d)
-				totalPairs++
-				if d > maxD {
-					maxD = d
-				}
-			}
+	// Per-worker partial sums, padded to a cache line so adjacent
+	// workers' updates do not false-share; merged after the sweep. Each
+	// source contributes O(1) reduction work: the workspace tracks the
+	// distance sum, reach count, and eccentricity of its traversal.
+	type plAcc struct {
+		dist  int64
+		pairs int64
+		maxD  int32
+		_     [44]byte
+	}
+	accs := make([]plAcc, workers)
+	bfs.MultiSourceWorkspace(g, sources, -1, workers, func(w, _ int, ws *bfs.Workspace) {
+		a := &accs[w]
+		a.dist += ws.SumDist()
+		a.pairs += int64(ws.Reached() - 1) // every reached vertex but the source
+		if m := ws.MaxDist(); m > a.maxD {
+			a.maxD = m
 		}
 	})
+	var totalDist, totalPairs int64
+	var maxD int32
+	for i := range accs {
+		totalDist += accs[i].dist
+		totalPairs += accs[i].pairs
+		if accs[i].maxD > maxD {
+			maxD = accs[i].maxD
+		}
+	}
 	if totalPairs == 0 {
 		return 0, 0
 	}

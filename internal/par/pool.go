@@ -1,0 +1,26 @@
+package par
+
+import "sync"
+
+// Pool is a typed wrapper over sync.Pool for per-worker scratch state
+// (traversal workspaces, accumulator buffers). Kernels that manage
+// their own worker loops acquire one T per worker at loop start and
+// release it at loop end, so steady-state multi-source traversals do
+// no allocation: the pool amortizes scratch across calls, and the GC
+// may still reclaim idle entries under memory pressure (sync.Pool
+// semantics).
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// NewPool returns a pool whose Get falls back to newT when empty.
+func NewPool[T any](newT func() T) *Pool[T] {
+	return &Pool[T]{p: sync.Pool{New: func() any { return newT() }}}
+}
+
+// Get returns a pooled value, or a fresh one from the constructor.
+// The caller owns the value exclusively until Put.
+func (p *Pool[T]) Get() T { return p.p.Get().(T) }
+
+// Put returns a value to the pool for reuse.
+func (p *Pool[T]) Put(x T) { p.p.Put(x) }

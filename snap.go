@@ -125,6 +125,25 @@ func BFS(g *Graph, src int32) BFSResult {
 // BFSSerial runs the serial reference BFS.
 func BFSSerial(g *Graph, src int32) BFSResult { return bfs.Serial(g, src, nil) }
 
+// BFSWorkspace is reusable epoch-stamped BFS state: resetting between
+// sources is O(1), so multi-source traversal loops run allocation-free.
+// Not safe for concurrent use; acquire one per goroutine.
+type BFSWorkspace = bfs.Workspace
+
+// AcquireBFSWorkspace returns a pooled traversal workspace sized for n
+// vertices. Release it with ReleaseBFSWorkspace when done.
+func AcquireBFSWorkspace(n int) *BFSWorkspace { return bfs.AcquireWorkspace(n) }
+
+// ReleaseBFSWorkspace returns a workspace to the shared pool.
+func ReleaseBFSWorkspace(ws *BFSWorkspace) { bfs.ReleaseWorkspace(ws) }
+
+// BFSMultiSource runs one BFS per source with per-worker reusable
+// workspaces; visit is called concurrently (stable worker ids, each
+// source index exactly once). maxDepth < 0 means unlimited.
+func BFSMultiSource(g *Graph, sources []int32, maxDepth int32, visit func(worker, i int, ws *BFSWorkspace)) {
+	bfs.MultiSourceWorkspace(g, sources, maxDepth, 0, visit)
+}
+
 // Components is a partition of the vertices into connected components.
 type Components = components.Labeling
 

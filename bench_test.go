@@ -12,6 +12,7 @@ import (
 	"snap/internal/centrality"
 	"snap/internal/community"
 	"snap/internal/datasets"
+	"snap/internal/frontier"
 	"snap/internal/generate"
 	"snap/internal/graph"
 	"snap/internal/metrics"
@@ -294,6 +295,56 @@ func BenchmarkWorkspaceMultiSourceLegacy(b *testing.B) {
 			total += int64(r.Reached())
 		})
 	}
+}
+
+// --- Frontier group: direction-optimizing engine vs always-top-down.
+// On the small-world RMAT graph the bottom-up middle levels should win;
+// on the high-diameter RoadMesh the frontier never gets dense enough to
+// switch, so direction-optimizing must stay within noise of top-down.
+// Run with -benchmem; numbers are recorded in EXPERIMENTS.md.
+
+func frontierRMAT() *graph.Graph {
+	return generate.RMAT(1<<14, 1<<16, generate.DefaultRMAT(), 11)
+}
+
+func frontierRoadMesh() *graph.Graph {
+	return generate.RoadMesh(128, 128, 0.05, 11)
+}
+
+// frontierSource picks the max-degree vertex, guaranteed inside the
+// giant component on both families.
+func frontierSource(g *graph.Graph) int32 {
+	src := int32(0)
+	for v := int32(1); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > g.Degree(src) {
+			src = v
+		}
+	}
+	return src
+}
+
+func benchFrontier(b *testing.B, g *graph.Graph, alpha float64) {
+	src := frontierSource(g)
+	e := frontier.AcquireEngine(g.NumVertices())
+	defer frontier.ReleaseEngine(e)
+	opt := frontier.Options{Workers: 1, MaxDepth: -1, Alpha: alpha}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunOptions(g, src, opt)
+	}
+}
+
+func BenchmarkFrontierTopDown_RMAT(b *testing.B) { benchFrontier(b, frontierRMAT(), 0) }
+
+func BenchmarkFrontierDirOpt_RMAT(b *testing.B) {
+	benchFrontier(b, frontierRMAT(), frontier.DefaultAlpha)
+}
+
+func BenchmarkFrontierTopDown_RoadMesh(b *testing.B) { benchFrontier(b, frontierRoadMesh(), 0) }
+
+func BenchmarkFrontierDirOpt_RoadMesh(b *testing.B) {
+	benchFrontier(b, frontierRoadMesh(), frontier.DefaultAlpha)
 }
 
 // BenchmarkWorkspaceSerialClosenessBaseline is the pre-change closeness

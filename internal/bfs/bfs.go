@@ -1,27 +1,27 @@
 // Package bfs implements SNAP's breadth-first search kernels: a serial
-// reference, and the lock-free level-synchronous parallel BFS with
-// degree-aware frontier partitioning that the paper uses as the
-// building block for centrality and community detection on small-world
-// networks (low diameter means few synchronization barriers).
+// reference, the lock-free level-synchronous parallel BFS with
+// degree-aware frontier partitioning, and the direction-optimizing
+// variant — all thin entry points over the shared frontier.Engine,
+// the traversal core the paper's centrality and community kernels
+// build on for small-world networks (low diameter means few
+// synchronization barriers).
 package bfs
 
 import (
 	"sync"
 	"sync/atomic"
 
+	"snap/internal/frontier"
 	"snap/internal/graph"
 	"snap/internal/par"
 )
 
 // Unreached marks vertices not reachable from the source.
-const Unreached = int32(-1)
+const Unreached = frontier.Unreached
 
 // Result holds a BFS tree: hop distances and parents (both -1 when
 // unreached, and Parent[src] == src).
-type Result struct {
-	Dist   []int32
-	Parent []int32
-}
+type Result = frontier.Result
 
 // Options configures a parallel traversal.
 type Options struct {
@@ -34,133 +34,69 @@ type Options struct {
 	// DegreeAware enables work-estimate-based frontier partitioning,
 	// the paper's fix for skewed degree distributions.
 	DegreeAware bool
+	// Alpha and Beta tune the direction-optimizing heuristic (only
+	// honored by DirectionOptimizing); <= 0 means the frontier
+	// package defaults.
+	Alpha, Beta float64
+	// Reverse supplies the in-adjacency CSR required for bottom-up
+	// steps on directed graphs (see graph.Reverse); nil makes
+	// directed direction-optimizing traversals fall back to top-down.
+	Reverse *graph.Graph
 }
 
-// Serial runs a textbook queue-based BFS; the reference oracle for the
-// parallel kernel, and the fast path for small fragments.
+// Serial runs a textbook serial BFS through a pooled engine; the
+// reference oracle for the parallel kernels, and the fast path for
+// small fragments.
 func Serial(g *graph.Graph, src int32, alive []bool) Result {
-	n := g.NumVertices()
-	dist := make([]int32, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = Unreached
-		parent[i] = -1
-	}
-	dist[src] = 0
-	parent[src] = src
-	queue := make([]int32, 0, 256)
-	queue = append(queue, src)
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		lo, hi := g.Offsets[v], g.Offsets[v+1]
-		for a := lo; a < hi; a++ {
-			if alive != nil && !alive[g.EID[a]] {
-				continue
-			}
-			u := g.Adj[a]
-			if dist[u] == Unreached {
-				dist[u] = dist[v] + 1
-				parent[u] = v
-				queue = append(queue, u)
-			}
-		}
-	}
-	return Result{Dist: dist, Parent: parent}
+	e := frontier.AcquireEngine(g.NumVertices())
+	defer frontier.ReleaseEngine(e)
+	e.Run(g, src, alive, -1)
+	return e.Export()
 }
 
-// Parallel runs the level-synchronous parallel BFS. Vertices at each
-// level are expanded concurrently; visitation is claimed with a
-// compare-and-swap on the distance array (the paper's lock-free
+// Parallel runs the level-synchronous parallel BFS: vertices at each
+// level are expanded concurrently, visitation is claimed with a
+// compare-and-swap on the engine's stamp array (the paper's lock-free
 // scheme), and each worker accumulates its slice of the next frontier
 // locally, so the only synchronization per level is one barrier.
 func Parallel(g *graph.Graph, src int32, opt Options) Result {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = par.Workers()
-	}
-	n := g.NumVertices()
-	dist := make([]int32, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = Unreached
-		parent[i] = -1
-	}
-	dist[src] = 0
-	parent[src] = src
-
-	frontier := []int32{src}
-	level := int32(0)
-	nexts := make([][]int32, workers)
-	for len(frontier) > 0 {
-		level++
-		expand := func(w, lo, hi int) {
-			next := nexts[w][:0]
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				alo, ahi := g.Offsets[v], g.Offsets[v+1]
-				for a := alo; a < ahi; a++ {
-					if opt.Alive != nil && !opt.Alive[g.EID[a]] {
-						continue
-					}
-					u := g.Adj[a]
-					if atomic.CompareAndSwapInt32(&dist[u], Unreached, level) {
-						atomic.StoreInt32(&parent[u], v)
-						next = append(next, u)
-					}
-				}
-			}
-			nexts[w] = next
-		}
-		w := workers
-		if w > len(frontier) {
-			w = len(frontier)
-		}
-		for i := range nexts {
-			if nexts[i] == nil {
-				nexts[i] = make([]int32, 0, 256)
-			}
-			nexts[i] = nexts[i][:0]
-		}
-		if w <= 1 {
-			expand(0, 0, len(frontier))
-		} else if opt.DegreeAware {
-			weight := make([]int64, len(frontier))
-			for i, v := range frontier {
-				weight[i] = g.Offsets[v+1] - g.Offsets[v]
-			}
-			par.ForDegreeAware(weight, w, expand)
-		} else {
-			par.ForChunkedN(len(frontier), w, expand)
-		}
-		frontier = frontier[:0]
-		for _, nx := range nexts {
-			frontier = append(frontier, nx...)
-		}
-	}
-	return Result{Dist: dist, Parent: parent}
+	e := frontier.AcquireEngine(g.NumVertices())
+	defer frontier.ReleaseEngine(e)
+	e.RunOptions(g, src, frontier.Options{
+		Workers:     opt.Workers,
+		Alive:       opt.Alive,
+		MaxDepth:    -1,
+		DegreeAware: opt.DegreeAware,
+	})
+	return e.Export()
 }
 
-// MaxDist reports the eccentricity of the source in r (the largest
-// finite distance), or 0 for an isolated source.
-func (r Result) MaxDist() int32 {
-	var mx int32
-	for _, d := range r.Dist {
-		if d > mx {
-			mx = d
-		}
+// DirectionOptimizing runs a direction-optimizing BFS (Beamer-style):
+// levels expand top-down (frontier pushes to neighbors) while the
+// frontier is small, and switch to bottom-up (unvisited vertices probe
+// whether any neighbor is in the frontier) when the frontier covers a
+// large fraction of the remaining edges. On small-world graphs the
+// middle levels contain most of the graph, and bottom-up sweeps touch
+// each unvisited vertex once instead of scanning the frontier's entire
+// (huge) neighborhood. Directed graphs run bottom-up only when
+// opt.Reverse supplies the in-adjacency CSR.
+func DirectionOptimizing(g *graph.Graph, src int32, opt Options) Result {
+	e := frontier.AcquireEngine(g.NumVertices())
+	defer frontier.ReleaseEngine(e)
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = frontier.DefaultAlpha
 	}
-	return mx
-}
-
-// Reached reports the number of vertices reached (including the source).
-func (r Result) Reached() int {
-	c := 0
-	for _, d := range r.Dist {
-		if d != Unreached {
-			c++
-		}
-	}
-	return c
+	e.RunOptions(g, src, frontier.Options{
+		Workers:     opt.Workers,
+		Alive:       opt.Alive,
+		MaxDepth:    -1,
+		Alpha:       alpha,
+		Beta:        opt.Beta,
+		DegreeAware: opt.DegreeAware,
+		Reverse:     opt.Reverse,
+	})
+	return e.Export()
 }
 
 // MultiSourceWorkspace runs independent BFS traversals from each
@@ -178,6 +114,12 @@ func (r Result) Reached() int {
 // worker; its contents are valid only for the duration of the call.
 // maxDepth < 0 means unlimited; otherwise traversal stops after that
 // many levels (path-limited search).
+//
+// Each traversal runs serially inside its worker with direction
+// optimization enabled: every consumer reduces over distances (sums,
+// counts, eccentricities), which are direction-independent, so the
+// bottom-up sweeps through the dense middle levels of small-world
+// graphs are a free win. Directed graphs fall back to top-down.
 func MultiSourceWorkspace(g *graph.Graph, sources []int32, maxDepth int32, workers int, visit func(worker, i int, ws *Workspace)) {
 	if workers <= 0 {
 		workers = par.Workers()
@@ -189,10 +131,11 @@ func MultiSourceWorkspace(g *graph.Graph, sources []int32, maxDepth int32, worke
 		return
 	}
 	n := g.NumVertices()
+	opt := frontier.Options{Workers: 1, MaxDepth: maxDepth, Alpha: frontier.DefaultAlpha}
 	if workers <= 1 {
 		ws := AcquireWorkspace(n)
 		for i, src := range sources {
-			ws.Run(g, src, nil, maxDepth)
+			ws.RunOptions(g, src, opt)
 			visit(0, i, ws)
 		}
 		ReleaseWorkspace(ws)
@@ -214,7 +157,7 @@ func MultiSourceWorkspace(g *graph.Graph, sources []int32, maxDepth int32, worke
 				if i >= len(sources) {
 					return
 				}
-				ws.Run(g, sources[i], nil, maxDepth)
+				ws.RunOptions(g, sources[i], opt)
 				visit(w, i, ws)
 			}
 		}(w)

@@ -1,12 +1,16 @@
 package bfs
 
-import "snap/internal/graph"
+import (
+	"snap/internal/frontier"
+	"snap/internal/graph"
+)
 
 // STConnectivity answers s-t connectivity queries with a bidirectional
 // BFS that expands the smaller frontier first — the st-connectivity
 // kernel the paper's BFS work (Bader & Madduri, ICPP 2006) pairs with
 // breadth-first search. Returns whether t is reachable from s and, if
-// so, the hop distance between them.
+// so, the hop distance between them. The two waves live in shared
+// frontier.Frontier containers (sparse form).
 func STConnectivity(g *graph.Graph, s, t int32) (connected bool, dist int32) {
 	if s == t {
 		return true, 0
@@ -16,35 +20,36 @@ func STConnectivity(g *graph.Graph, s, t int32) (connected bool, dist int32) {
 	mark := make([]int32, n)
 	mark[s] = 1
 	mark[t] = -1
-	frontS := []int32{s}
-	frontT := []int32{t}
+	var frontS, frontT, next frontier.Frontier
+	frontS.Add(s, 0)
+	frontT.Add(t, 0)
 	dS, dT := int32(1), int32(1)
-	for len(frontS) > 0 && len(frontT) > 0 {
-		if len(frontS) <= len(frontT) {
-			var meet int32 = -1
-			frontS, meet = stExpand(g, frontS, mark, dS, +1)
-			if meet >= 0 {
+	for frontS.Len() > 0 && frontT.Len() > 0 {
+		if frontS.Len() <= frontT.Len() {
+			if meet := stExpand(g, &frontS, &next, mark, dS, +1); meet >= 0 {
 				// meet carries the t-side depth at the contact vertex.
 				return true, (dS - 1) + meet
 			}
+			frontS, next = next, frontS
 			dS++
 		} else {
-			var meet int32 = -1
-			frontT, meet = stExpand(g, frontT, mark, dT, -1)
-			if meet >= 0 {
+			if meet := stExpand(g, &frontT, &next, mark, dT, -1); meet >= 0 {
 				return true, (dT - 1) + meet
 			}
+			frontT, next = next, frontT
 			dT++
 		}
 	}
 	return false, -1
 }
 
-// stExpand advances one wave. sign +1 expands the s side (positive
-// marks), -1 the t side. On contact it returns the other side's depth
-// at the contact vertex plus one (the connecting edge).
-func stExpand(g *graph.Graph, front []int32, mark []int32, depth, sign int32) (next []int32, meet int32) {
-	for _, v := range front {
+// stExpand advances one wave from front into next. sign +1 expands the
+// s side (positive marks), -1 the t side. On contact it returns the
+// other side's depth at the contact vertex plus one (the connecting
+// edge); otherwise -1.
+func stExpand(g *graph.Graph, front, next *frontier.Frontier, mark []int32, depth, sign int32) (meet int32) {
+	next.Reset()
+	for _, v := range front.Verts() {
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
 		for a := lo; a < hi; a++ {
 			u := g.Adj[a]
@@ -52,16 +57,15 @@ func stExpand(g *graph.Graph, front []int32, mark []int32, depth, sign int32) (n
 			switch {
 			case mu == 0:
 				mark[u] = sign * (depth + 1)
-				next = append(next, u)
+				next.Add(u, 0)
 			case mu*sign < 0:
 				// Opposite wave: total = this side's depth + other's.
-				other := mu
-				if other < 0 {
-					other = -other
+				if mu < 0 {
+					return -mu
 				}
-				return nil, other
+				return mu
 			}
 		}
 	}
-	return next, -1
+	return -1
 }

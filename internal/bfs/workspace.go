@@ -1,197 +1,25 @@
 package bfs
 
-import (
-	"snap/internal/graph"
-	"snap/internal/par"
-)
+import "snap/internal/frontier"
 
-// Workspace is reusable BFS state for multi-source traversal loops.
-// "Visited" is encoded by an epoch stamp — stamp[v] equals the current
-// epoch iff v was reached by the most recent Run — so resetting between
-// sources is a single counter increment (O(1)) instead of an O(n)
-// re-fill of the distance and parent arrays. Exact closeness on an
-// n-vertex graph therefore touches O(reached) state per source instead
-// of paying O(n) allocation + memset traffic per source.
-//
-// The stamp invariant is that every stamp value is at most the current
-// epoch. When the uint32 epoch counter wraps around (once every 2^32-1
-// traversals), stamps from the previous generation could otherwise
-// collide with fresh epochs, so the wrap path zero-fills the stamp
-// array once and restarts at epoch 1 — amortized cost ~n/2^32 per
-// traversal.
-//
-// A Workspace is not safe for concurrent use; acquire one per worker
-// (see AcquireWorkspace / MultiSourceWorkspace). Accessor results are
-// valid only until the next Run or Resize.
-type Workspace struct {
-	epoch  uint32
-	stamp  []uint32 // stamp[v] == epoch ⇔ v visited by the latest Run
-	dist   []int32  // meaningful only where stamp[v] == epoch
-	parent []int32  // meaningful only where stamp[v] == epoch
-	order  []int32  // visited vertices in BFS order; order[0] = src
-}
+// Workspace is reusable BFS state for multi-source traversal loops —
+// an alias of the shared frontier.Engine, which owns the epoch-stamped
+// visited encoding, the visitation order, and the level-synchronous
+// direction-optimizing step loop. See frontier.Engine for the state
+// invariants; the alias keeps the historical bfs-centric name that
+// kernel packages and the facade use.
+type Workspace = frontier.Engine
 
 // NewWorkspace returns a workspace for graphs with n vertices.
-func NewWorkspace(n int) *Workspace {
-	ws := &Workspace{}
-	ws.Resize(n)
-	return ws
-}
-
-// Resize prepares the workspace for a graph with n vertices, reusing
-// the existing arrays when they are large enough. Any previous
-// traversal state is discarded.
-func (ws *Workspace) Resize(n int) {
-	if cap(ws.dist) < n || cap(ws.stamp) < n || cap(ws.parent) < n {
-		ws.stamp = make([]uint32, n)
-		ws.dist = make([]int32, n)
-		ws.parent = make([]int32, n)
-		ws.epoch = 0
-	} else {
-		ws.stamp = ws.stamp[:n]
-		ws.dist = ws.dist[:n]
-		ws.parent = ws.parent[:n]
-	}
-	if ws.order == nil {
-		ws.order = make([]int32, 0, 256)
-	}
-	ws.order = ws.order[:0]
-}
-
-// Len reports the number of vertices the workspace is sized for.
-func (ws *Workspace) Len() int { return len(ws.dist) }
-
-// begin opens a new traversal epoch: O(1) except on uint32 wraparound,
-// where the stamp array is cleared once so stale stamps from the
-// previous generation cannot alias the new epoch sequence.
-func (ws *Workspace) begin() {
-	ws.epoch++
-	if ws.epoch == 0 {
-		clear(ws.stamp)
-		ws.epoch = 1
-	}
-	ws.order = ws.order[:0]
-}
-
-// Run performs a BFS from src, restricted to arcs whose edge id is
-// alive (nil means all arcs) and to maxDepth levels (< 0 means
-// unlimited — the paper's path-limited search otherwise). It produces
-// exactly the distances and parents of Serial / limited traversal,
-// readable through Dist/Parent/Order until the next Run.
-func (ws *Workspace) Run(g *graph.Graph, src int32, alive []bool, maxDepth int32) {
-	ws.begin()
-	e := ws.epoch
-	stamp, dist, parent := ws.stamp, ws.dist, ws.parent
-	stamp[src] = e
-	dist[src] = 0
-	parent[src] = src
-	order := append(ws.order, src)
-	for head := 0; head < len(order); head++ {
-		v := order[head]
-		dv := dist[v]
-		if maxDepth >= 0 && dv >= maxDepth {
-			continue
-		}
-		lo, hi := g.Offsets[v], g.Offsets[v+1]
-		for a := lo; a < hi; a++ {
-			if alive != nil && !alive[g.EID[a]] {
-				continue
-			}
-			u := g.Adj[a]
-			if stamp[u] != e {
-				stamp[u] = e
-				dist[u] = dv + 1
-				parent[u] = v
-				order = append(order, u)
-			}
-		}
-	}
-	ws.order = order
-}
-
-// Visited reports whether v was reached by the latest Run.
-func (ws *Workspace) Visited(v int32) bool {
-	return ws.epoch != 0 && ws.stamp[v] == ws.epoch
-}
-
-// Dist reports the hop distance of v from the latest source, or
-// Unreached.
-func (ws *Workspace) Dist(v int32) int32 {
-	if !ws.Visited(v) {
-		return Unreached
-	}
-	return ws.dist[v]
-}
-
-// Parent reports the BFS-tree parent of v (the source is its own
-// parent), or -1 when unreached.
-func (ws *Workspace) Parent(v int32) int32 {
-	if !ws.Visited(v) {
-		return -1
-	}
-	return ws.parent[v]
-}
-
-// Order returns the vertices reached by the latest Run in BFS
-// visitation order (source first, distances non-decreasing). Read-only;
-// valid until the next Run.
-func (ws *Workspace) Order() []int32 { return ws.order }
-
-// Reached reports the number of vertices reached (including the
-// source) — O(1), unlike Result.Reached.
-func (ws *Workspace) Reached() int { return len(ws.order) }
-
-// MaxDist reports the eccentricity of the latest source in O(1): BFS
-// visits vertices in non-decreasing distance order, so the last vertex
-// of the visitation order is a farthest one.
-func (ws *Workspace) MaxDist() int32 {
-	if len(ws.order) == 0 {
-		return 0
-	}
-	return ws.dist[ws.order[len(ws.order)-1]]
-}
-
-// SumDist reports the total hop distance from the latest source to
-// every reached vertex in O(reached) — the closeness denominator.
-func (ws *Workspace) SumDist() int64 {
-	var total int64
-	for _, v := range ws.order {
-		total += int64(ws.dist[v])
-	}
-	return total
-}
-
-// Export materializes the latest traversal as a dense, caller-owned
-// Result (allocates two O(n) arrays — the compatibility path for code
-// that retains full distance vectors).
-func (ws *Workspace) Export() Result {
-	n := len(ws.dist)
-	r := Result{Dist: make([]int32, n), Parent: make([]int32, n)}
-	for i := range r.Dist {
-		r.Dist[i] = Unreached
-		r.Parent[i] = -1
-	}
-	for _, v := range ws.order {
-		r.Dist[v] = ws.dist[v]
-		r.Parent[v] = ws.parent[v]
-	}
-	return r
-}
-
-// wsPool amortizes workspaces across kernel invocations: closeness,
-// diameter, average path length, and the GN split check all borrow
-// from the same pool, so back-to-back analyses on same-sized graphs
-// reach allocation-free steady state.
-var wsPool = par.NewPool(func() *Workspace { return &Workspace{} })
+func NewWorkspace(n int) *Workspace { return frontier.NewEngine(n) }
 
 // AcquireWorkspace returns a pooled workspace sized for n vertices.
-// Release it with ReleaseWorkspace when the traversal loop ends.
-func AcquireWorkspace(n int) *Workspace {
-	ws := wsPool.Get()
-	ws.Resize(n)
-	return ws
-}
+// Release it with ReleaseWorkspace when the traversal loop ends. The
+// pool is shared with every direct frontier.Engine consumer, so
+// back-to-back kernels on same-sized graphs reach allocation-free
+// steady state.
+func AcquireWorkspace(n int) *Workspace { return frontier.AcquireEngine(n) }
 
 // ReleaseWorkspace returns a workspace to the pool. The caller must
 // not use ws (or results read from it) afterwards.
-func ReleaseWorkspace(ws *Workspace) { wsPool.Put(ws) }
+func ReleaseWorkspace(ws *Workspace) { frontier.ReleaseEngine(ws) }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"snap/internal/frontier"
 	"snap/internal/graph"
 	"snap/internal/par"
 )
@@ -129,17 +130,18 @@ func halve(xs []float64) {
 	}
 }
 
-// brandesState is the per-worker scratch of one Brandes traversal. It
-// maintains a clean-between-runs invariant — every dist entry is -1 and
-// every sigma/delta entry is 0 whenever no run is in progress — so a
+// brandesState is the per-worker scratch of one Brandes traversal. The
+// forward BFS phase lives in a shared frontier engine (epoch-stamped
+// distances, O(1) reset); sigma/delta maintain a clean-between-runs
+// invariant — every entry is 0 whenever no run is in progress — so a
 // run resets nothing up front and instead sparsely restores exactly the
-// vertices it touched (listed in order) before returning: O(touched)
-// per source instead of the former wholesale O(n) re-zeroing.
+// vertices it touched (the engine's visitation order) before
+// returning: O(touched) per source instead of wholesale O(n)
+// re-zeroing.
 type brandesState struct {
-	dist  []int32
+	eng   *frontier.Engine
 	sigma []float64
 	delta []float64
-	order []int32 // vertices in BFS visitation order
 }
 
 // brandesPool amortizes Brandes scratch across calls: the batched
@@ -158,57 +160,50 @@ func acquireBrandesState(n int) *brandesState {
 func releaseBrandesState(st *brandesState) { brandesPool.Put(st) }
 
 func (st *brandesState) resize(n int) {
-	if cap(st.dist) < n || cap(st.sigma) < n || cap(st.delta) < n {
-		st.dist = make([]int32, n)
-		// Initialize through the full capacity (make may round the
-		// allocation up), so a later in-place grow still sees -1.
-		full := st.dist[:cap(st.dist)]
-		for i := range full {
-			full[i] = -1
-		}
+	if st.eng == nil {
+		st.eng = frontier.NewEngine(n)
+	} else {
+		st.eng.Resize(n)
+	}
+	if cap(st.sigma) < n || cap(st.delta) < n {
 		st.sigma = make([]float64, n)
 		st.delta = make([]float64, n)
 	} else {
 		// Shrinks and in-cap grows keep the clean invariant: every
 		// entry ever touched by a run was restored on that run's exit,
-		// and never-touched capacity is -1 (dist) or zero (sigma/delta)
-		// from allocation.
-		st.dist = st.dist[:n]
+		// and never-touched capacity is zero from allocation.
 		st.sigma = st.sigma[:n]
 		st.delta = st.delta[:n]
 	}
-	if st.order == nil {
-		st.order = make([]int32, 0, 256)
-	}
-	st.order = st.order[:0]
 }
 
 // run performs one source traversal and accumulates dependencies into
-// vertexAcc and/or edgeAcc (either may be nil).
+// vertexAcc and/or edgeAcc (either may be nil). The forward BFS phase
+// is the shared frontier engine's serial run; path counts are then
+// accumulated by one push sweep over the visitation order. Distances
+// are read through the engine's raw array, which is safe here: every
+// alive-arc neighbor of a reached vertex is itself reached, so no
+// stale-epoch entry is ever consulted.
 func (st *brandesState) run(g *graph.Graph, s int32, alive []bool, vertexAcc, edgeAcc []float64) {
-	dist, sigma, delta := st.dist, st.sigma, st.delta
-	order := st.order[:0]
-	dist[s] = 0
+	eng, sigma, delta := st.eng, st.sigma, st.delta
+	eng.Run(g, s, alive, -1)
+	order := eng.Order()
+	dist := eng.DistData()
 	sigma[s] = 1
-	order = append(order, s)
-	for head := 0; head < len(order); head++ {
-		v := order[head]
+	for _, v := range order {
+		sv := sigma[v]
+		dv := dist[v]
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
 		for a := lo; a < hi; a++ {
 			if alive != nil && !alive[g.EID[a]] {
 				continue
 			}
 			u := g.Adj[a]
-			if dist[u] == -1 {
-				dist[u] = dist[v] + 1
-				order = append(order, u)
-			}
-			if dist[u] == dist[v]+1 {
-				sigma[u] += sigma[v]
+			if dist[u] == dv+1 {
+				sigma[u] += sv
 			}
 		}
 	}
-	st.order = order
 	// Dependency accumulation in reverse BFS order. Predecessors of w
 	// are found by rescanning w's adjacency (SNAP's space optimization
 	// for small-world graphs instead of storing predecessor lists).
@@ -234,9 +229,9 @@ func (st *brandesState) run(g *graph.Graph, s int32, alive []bool, vertexAcc, ed
 		}
 	}
 	// Restore the clean invariant sparsely: only vertices in the
-	// visitation order carry traversal state.
+	// visitation order carry sigma/delta state (the engine's distances
+	// reset themselves by epoch).
 	for _, v := range order {
-		dist[v] = -1
 		sigma[v] = 0
 		delta[v] = 0
 	}
@@ -255,69 +250,33 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 	if opt.ComputeEdge {
 		out.Edge = make([]float64, m)
 	}
-	// dist/sigma/delta follow the same clean-between-sources invariant
-	// as brandesState: initialized densely once, then restored sparsely
-	// after each source over exactly the visited vertices.
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
+	// sigma/delta follow the same clean-between-sources invariant as
+	// brandesState: initialized densely once, then restored sparsely
+	// after each source over exactly the visited vertices. The forward
+	// BFS — frontier bookkeeping, CAS claiming, and per-level windows —
+	// is entirely the shared engine's parallel top-down run; reading
+	// its raw distance array is safe because every alive-arc neighbor
+	// of a reached vertex is itself reached (no stale-epoch entry is
+	// consulted).
 	sigma := make([]float64, n)
 	delta := make([]float64, n)
-	// BFS levels are recorded flat — level li occupies
-	// flat[offs[li]:offs[li+1]] — so recording a level is an amortized
-	// copy into one reused buffer instead of a fresh slice per level.
-	flat := make([]int32, 0, n)
-	offs := make([]int, 1, 64)
-	frontier := make([]int32, 0, 256)
-	nexts := make([][]int32, workers)
-	for i := range nexts {
-		nexts[i] = make([]int32, 0, 256)
-	}
+	eng := frontier.AcquireEngine(n)
+	defer frontier.ReleaseEngine(eng)
+	fopt := frontier.Options{Workers: workers, Alive: opt.Alive, MaxDepth: -1}
 
 	for _, s := range sources {
-		flat = flat[:0]
-		offs = offs[:1]
-		dist[s] = 0
+		eng.RunOptions(g, s, fopt)
+		dist := eng.DistData()
 		sigma[s] = 1
-		frontier = append(frontier[:0], s)
-		d := int32(0)
-		for len(frontier) > 0 {
-			flat = append(flat, frontier...)
-			offs = append(offs, len(flat))
-			d++
-			for i := range nexts {
-				nexts[i] = nexts[i][:0]
-			}
-			// Phase 1: claim next-level vertices with CAS on dist.
-			par.ForChunkedN(len(frontier), workers, func(w, lo, hi int) {
-				next := nexts[w]
+		// Sigma accumulation level by level: each vertex pulls from its
+		// predecessors, so no atomics are needed — u is owned by
+		// exactly one worker, and the previous level is settled.
+		for d := int32(1); d < int32(eng.NumLevels()); d++ {
+			level := eng.Level(d)
+			par.ForChunkedN(len(level), workers, func(_, lo, hi int) {
 				for i := lo; i < hi; i++ {
-					v := frontier[i]
-					alo, ahi := g.Offsets[v], g.Offsets[v+1]
-					for a := alo; a < ahi; a++ {
-						if opt.Alive != nil && !opt.Alive[g.EID[a]] {
-							continue
-						}
-						u := g.Adj[a]
-						if atomic.CompareAndSwapInt32(&dist[u], -1, d) {
-							next = append(next, u)
-						}
-					}
-				}
-				nexts[w] = next
-			})
-			frontier = frontier[:0]
-			for _, nx := range nexts {
-				frontier = append(frontier, nx...)
-			}
-			// Phase 2: accumulate sigma over the settled level. Each
-			// next-level vertex pulls from its predecessors, so no
-			// atomics are needed: u is owned by exactly one worker.
-			par.ForChunkedN(len(frontier), workers, func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					u := frontier[i]
-					var s float64
+					u := level[i]
+					var acc float64
 					alo, ahi := g.Offsets[u], g.Offsets[u+1]
 					for a := alo; a < ahi; a++ {
 						if opt.Alive != nil && !opt.Alive[g.EID[a]] {
@@ -325,10 +284,10 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 						}
 						v := g.Adj[a]
 						if dist[v] == d-1 {
-							s += sigma[v]
+							acc += sigma[v]
 						}
 					}
-					sigma[u] = s
+					sigma[u] = acc
 				}
 			})
 		}
@@ -336,8 +295,8 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 		// is final when a level is processed, and within a level each
 		// w is owned by one worker. Accumulation into predecessors'
 		// delta and into edge scores uses atomic float adds.
-		for li := len(offs) - 2; li > 0; li-- {
-			level := flat[offs[li]:offs[li+1]]
+		for li := int32(eng.NumLevels()) - 1; li > 0; li-- {
+			level := eng.Level(li)
 			par.ForChunkedN(len(level), workers, func(_, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					w := level[i]
@@ -362,10 +321,9 @@ func betweennessFine(g *graph.Graph, opt BetweennessOptions, sources []int32, wo
 				}
 			})
 		}
-		// Restore the clean invariant sparsely: flat holds exactly the
-		// vertices this source's traversal touched.
-		for _, v := range flat {
-			dist[v] = -1
+		// Restore the clean invariant sparsely: the engine's order
+		// holds exactly the vertices this source's traversal touched.
+		for _, v := range eng.Order() {
 			sigma[v] = 0
 			delta[v] = 0
 		}

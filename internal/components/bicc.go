@@ -1,6 +1,9 @@
 package components
 
-import "snap/internal/graph"
+import (
+	"snap/internal/frontier"
+	"snap/internal/graph"
+)
 
 // BiCC is the result of biconnected-components decomposition.
 type BiCC struct {
@@ -42,10 +45,10 @@ func Biconnected(g *graph.Graph) BiCC {
 		parentEdge[i] = -1
 	}
 
-	// Explicit DFS stack: per-vertex arc cursor.
+	// Explicit DFS stacks (shared frontier primitives): per-vertex arc
+	// cursor plus Tarjan's edge stack of tree/back edge ids.
 	cursor := make([]int64, n)
-	stack := make([]int32, 0, 1024)     // vertex stack
-	edgeStack := make([]int32, 0, 1024) // tree/back edge ids, Tarjan's edge stack
+	var stack, edgeStack frontier.Stack
 	var timer int32
 	var comp int32
 
@@ -57,11 +60,11 @@ func Biconnected(g *graph.Graph) BiCC {
 		low[root] = timer
 		timer++
 		cursor[root] = g.Offsets[root]
-		stack = append(stack, root)
+		stack.Push(root)
 		rootChildren := 0
 
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
+		for stack.Len() > 0 {
+			v := stack.Top()
 			if cursor[v] < g.Offsets[v+1] {
 				a := cursor[v]
 				cursor[v]++
@@ -80,23 +83,23 @@ func Biconnected(g *graph.Graph) BiCC {
 					low[u] = timer
 					timer++
 					cursor[u] = g.Offsets[u]
-					edgeStack = append(edgeStack, eid)
-					stack = append(stack, u)
+					edgeStack.Push(eid)
+					stack.Push(u)
 				} else if disc[u] < disc[v] {
 					// Back edge to an ancestor (or cross within the
 					// DFS of an undirected graph, which cannot occur).
-					edgeStack = append(edgeStack, eid)
+					edgeStack.Push(eid)
 					if disc[u] < low[v] {
 						low[v] = disc[u]
 					}
 				}
 			} else {
 				// Retreat from v to its parent.
-				stack = stack[:len(stack)-1]
-				if len(stack) == 0 {
+				stack.Pop()
+				if stack.Len() == 0 {
 					break
 				}
-				p := stack[len(stack)-1]
+				p := stack.Top()
 				if low[v] < low[p] {
 					low[p] = low[v]
 				}
@@ -110,11 +113,10 @@ func Biconnected(g *graph.Graph) BiCC {
 					te := parentEdge[v]
 					compSize := 0
 					for {
-						if len(edgeStack) == 0 {
+						if edgeStack.Len() == 0 {
 							break
 						}
-						e := edgeStack[len(edgeStack)-1]
-						edgeStack = edgeStack[:len(edgeStack)-1]
+						e := edgeStack.Pop()
 						res.EdgeComp[e] = comp
 						compSize++
 						if e == te {

@@ -9,6 +9,7 @@ package components
 import (
 	"sync/atomic"
 
+	"snap/internal/frontier"
 	"snap/internal/graph"
 	"snap/internal/par"
 )
@@ -56,24 +57,52 @@ func (l Labeling) Largest() (id int32, size int) {
 	return id, size
 }
 
-// Connected computes connected components with a union-find (serial
-// reference implementation). When alive is non-nil, only edges with
+// Connected computes connected components (serial reference
+// implementation). When alive is non-nil, only edges with
 // Alive[eid] == true are considered — the filtered view used inside
 // the divisive clustering loop. Directed graphs are treated as
 // undirected (weak connectivity).
+//
+// Undirected graphs run a BFS sweep through the shared frontier
+// engine: each unlabeled vertex in ascending order seeds a traversal
+// that stamps its whole component, so labels come out in
+// smallest-member order — the same dense numbering denseLabels
+// produces — while reusing one pooled epoch-stamped engine instead of
+// a union-find array pass. Directed graphs keep the union-find
+// (out-adjacency alone cannot discover weak components).
 func Connected(g *graph.Graph, alive []bool) Labeling {
 	n := g.NumVertices()
-	uf := NewUnionFind(n)
-	for v := int32(0); int(v) < n; v++ {
-		lo, hi := g.Offsets[v], g.Offsets[v+1]
-		for a := lo; a < hi; a++ {
-			if alive != nil && !alive[g.EID[a]] {
-				continue
+	if g.Directed() {
+		uf := NewUnionFind(n)
+		for v := int32(0); int(v) < n; v++ {
+			lo, hi := g.Offsets[v], g.Offsets[v+1]
+			for a := lo; a < hi; a++ {
+				if alive != nil && !alive[g.EID[a]] {
+					continue
+				}
+				uf.Union(v, g.Adj[a])
 			}
-			uf.Union(v, g.Adj[a])
 		}
+		return uf.Labeling()
 	}
-	return uf.Labeling()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	e := frontier.AcquireEngine(n)
+	defer frontier.ReleaseEngine(e)
+	var count int32
+	for v := int32(0); int(v) < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		e.Run(g, v, alive, -1)
+		for _, u := range e.Order() {
+			comp[u] = count
+		}
+		count++
+	}
+	return Labeling{Comp: comp, Count: int(count)}
 }
 
 // ConnectedParallel computes connected components by parallel label

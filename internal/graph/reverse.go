@@ -1,0 +1,97 @@
+package graph
+
+import "snap/internal/par"
+
+// Reverse returns the in-adjacency CSR of a directed graph: vertex v's
+// arcs in the result are v's in-neighbors in g, each carrying the same
+// edge id and weight as the original arc, so per-edge state (e.g. the
+// Alive masks used by divisive clustering) filters identically on the
+// pull side. Bottom-up BFS steps on directed graphs scan this reverse
+// view. Undirected graphs are their own reverse, so g is returned
+// unchanged.
+//
+// The build is a parallel counting sort: workers count in-degree
+// contributions over contiguous source chunks, a prefix pass converts
+// the per-(worker, vertex) counts into disjoint write cursors, and a
+// second sweep places arcs with no further synchronization. Scanning
+// sources in ascending order within and across chunks leaves every
+// adjacency list sorted — preserving the Graph invariant — without a
+// sort pass.
+func Reverse(g *Graph) *Graph {
+	if !g.directed {
+		return g
+	}
+	n := g.NumVertices()
+	workers := par.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pass 1: per-worker in-degree counts over source chunks.
+	counts := make([][]int64, workers)
+	par.ForChunkedN(n, workers, func(w, lo, hi int) {
+		c := make([]int64, n)
+		for u := lo; u < hi; u++ {
+			for a := g.Offsets[u]; a < g.Offsets[u+1]; a++ {
+				c[g.Adj[a]]++
+			}
+		}
+		counts[w] = c
+	})
+
+	// Prefix pass: offsets per target vertex, then per-worker write
+	// cursors (worker order = ascending source order).
+	offsets := make([]int64, n+1)
+	var acc int64
+	for v := 0; v < n; v++ {
+		offsets[v] = acc
+		for w := 0; w < workers; w++ {
+			acc += counts[w][v]
+		}
+	}
+	offsets[n] = acc
+	for v := 0; v < n; v++ {
+		base := offsets[v]
+		for w := 0; w < workers; w++ {
+			c := counts[w][v]
+			counts[w][v] = base
+			base += c
+		}
+	}
+
+	// Pass 2: place arcs. Cursor ranges are disjoint across workers,
+	// so placement needs no atomics.
+	adj := make([]int32, acc)
+	eid := make([]int32, acc)
+	var wts []float64
+	if g.W != nil {
+		wts = make([]float64, acc)
+	}
+	par.ForChunkedN(n, workers, func(w, lo, hi int) {
+		cur := counts[w]
+		for u := lo; u < hi; u++ {
+			for a := g.Offsets[u]; a < g.Offsets[u+1]; a++ {
+				v := g.Adj[a]
+				c := cur[v]
+				adj[c] = int32(u)
+				eid[c] = g.EID[a]
+				if wts != nil {
+					wts[c] = g.W[a]
+				}
+				cur[v] = c + 1
+			}
+		}
+	})
+
+	return &Graph{
+		Offsets:  offsets,
+		Adj:      adj,
+		EID:      eid,
+		W:        wts,
+		directed: true,
+		numEdges: g.numEdges,
+	}
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomDirected builds a directed graph from ~m random edges.
+func randomDirected(t *testing.T, n, m int, weighted bool, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		e := Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		if weighted {
+			e.W = rng.Float64() + 0.1
+		}
+		edges = append(edges, e)
+	}
+	g, err := Build(n, edges, BuildOptions{Directed: true, Weighted: weighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+type arc struct {
+	u, v, eid int32
+	w         float64
+}
+
+// transposeOracle lists g's arcs reversed, sorted the way a CSR stores
+// them: by (new source, new target).
+func transposeOracle(g *Graph) []arc {
+	var arcs []arc
+	for u := int32(0); int(u) < g.NumVertices(); u++ {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for a := lo; a < hi; a++ {
+			arcs = append(arcs, arc{u: g.Adj[a], v: u, eid: g.EID[a], w: g.ArcWeight(a)})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		return arcs[i].v < arcs[j].v
+	})
+	return arcs
+}
+
+// The property: Reverse is exactly the edge-list transpose, including
+// edge ids, weights, and the sorted-adjacency invariant.
+func TestReverseMatchesTranspose(t *testing.T) {
+	cases := []struct {
+		name     string
+		n, m     int
+		weighted bool
+		seed     int64
+	}{
+		{"small", 30, 80, false, 1},
+		{"medium", 500, 3000, false, 2},
+		{"weighted", 200, 1500, true, 3},
+		{"sparse", 1000, 500, false, 4},
+		{"singleton", 1, 0, false, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randomDirected(t, tc.n, tc.m, tc.weighted, tc.seed)
+			rg := Reverse(g)
+			if !rg.Directed() {
+				t.Fatal("reverse lost directedness")
+			}
+			if rg.NumVertices() != g.NumVertices() || rg.NumArcs() != g.NumArcs() || rg.NumEdges() != g.NumEdges() {
+				t.Fatalf("shape mismatch: %v vs %v", rg, g)
+			}
+			want := transposeOracle(g)
+			i := 0
+			for u := int32(0); int(u) < rg.NumVertices(); u++ {
+				lo, hi := rg.Offsets[u], rg.Offsets[u+1]
+				for a := lo; a < hi; a++ {
+					if a > lo && rg.Adj[a] < rg.Adj[a-1] {
+						t.Fatalf("adjacency of %d not sorted", u)
+					}
+					got := arc{u: u, v: rg.Adj[a], eid: rg.EID[a], w: rg.ArcWeight(a)}
+					if got != want[i] {
+						t.Fatalf("arc %d: got %+v, want %+v", i, got, want[i])
+					}
+					i++
+				}
+			}
+			if i != len(want) {
+				t.Fatalf("arc count %d, want %d", i, len(want))
+			}
+		})
+	}
+}
+
+// Reversing twice must reproduce the original CSR verbatim.
+func TestReverseInvolution(t *testing.T) {
+	g := randomDirected(t, 300, 2000, true, 7)
+	rr := Reverse(Reverse(g))
+	if rr.NumArcs() != g.NumArcs() {
+		t.Fatalf("arc count %d, want %d", rr.NumArcs(), g.NumArcs())
+	}
+	for v := 0; v <= g.NumVertices(); v++ {
+		if rr.Offsets[v] != g.Offsets[v] {
+			t.Fatalf("offset mismatch at %d", v)
+		}
+	}
+	for a := range g.Adj {
+		if rr.Adj[a] != g.Adj[a] || rr.EID[a] != g.EID[a] || rr.W[a] != g.W[a] {
+			t.Fatalf("arc %d mismatch", a)
+		}
+	}
+}
+
+// Undirected graphs are their own reverse.
+func TestReverseUndirectedIdentity(t *testing.T) {
+	g := MustBuild(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, BuildOptions{})
+	if Reverse(g) != g {
+		t.Fatal("undirected reverse should return the graph itself")
+	}
+}

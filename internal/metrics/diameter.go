@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"snap/internal/bfs"
+	"snap/internal/frontier"
 	"snap/internal/graph"
 )
 
@@ -12,11 +13,13 @@ import (
 // meets the best eccentricity found. On small-world graphs this
 // terminates after a handful of traversals instead of n.
 //
-// All traversals share one epoch-stamped workspace, so the whole
-// computation performs O(1) heap allocation regardless of how many
-// fringe vertices iFUB has to scan, and each eccentricity probe reads
-// MaxDist in O(1) from the traversal order instead of scanning an
-// O(n) distance vector.
+// All traversals share one epoch-stamped frontier engine in serial
+// direction-optimizing mode (bottom-up sweeps through the dense middle
+// levels of small-world graphs, plain top-down elsewhere), so the
+// whole computation performs O(1) heap allocation regardless of how
+// many fringe vertices iFUB has to scan, and each eccentricity probe
+// reads MaxDist in O(1) from the traversal order instead of scanning
+// an O(n) distance vector.
 func Diameter(g *graph.Graph) int {
 	n := g.NumVertices()
 	if n == 0 {
@@ -35,10 +38,14 @@ func Diameter(g *graph.Graph) int {
 	}
 	ws := bfs.AcquireWorkspace(n)
 	defer bfs.ReleaseWorkspace(ws)
+	// iFUB only consumes distances and any shortest-path tree, so each
+	// sweep may switch directions freely; one worker keeps the
+	// per-level barrier free of goroutine overhead.
+	opt := frontier.Options{Workers: 1, MaxDepth: -1, Alpha: frontier.DefaultAlpha}
 	// Double sweep: farthest from start, then farthest from there.
-	ws.Run(g, start, nil, -1)
+	ws.RunOptions(g, start, opt)
 	a := farthest(ws)
-	ws.Run(g, a, nil, -1)
+	ws.RunOptions(g, a, opt)
 	b := farthest(ws)
 	lower := int(ws.Dist(b))
 	// Root the iFUB search at the midpoint of the a-b path (walked now,
@@ -47,30 +54,21 @@ func Diameter(g *graph.Graph) int {
 	for hop := 0; hop < lower/2; hop++ {
 		mid = ws.Parent(mid)
 	}
-	ws.Run(g, mid, nil, -1)
-	ecc := int(ws.MaxDist())
-	// Layers of the mid-rooted BFS tree. The visitation order is sorted
-	// by distance, so layer d is the contiguous run
-	// order[bounds[d]:bounds[d+1]] — two allocations total (the order
-	// must be copied before the workspace is reused below).
+	ws.RunOptions(g, mid, opt)
+	ecc := ws.NumLevels() - 1
+	// Layers of the mid-rooted BFS tree: the engine maintains
+	// per-level windows of its visitation order, copied out (two
+	// allocations) before the workspace is reused below.
 	order := append([]int32(nil), ws.Order()...)
-	bounds := make([]int, ecc+2)
-	d := int32(0)
-	for i, v := range order {
-		for dv := ws.Dist(v); d < dv; {
-			d++
-			bounds[d] = i
-		}
-	}
-	for int(d) <= ecc {
-		d++
-		bounds[d] = len(order)
+	bounds := make([]int, ws.NumLevels()+1)
+	for d := 0; d < ws.NumLevels(); d++ {
+		bounds[d+1] = bounds[d] + len(ws.Level(int32(d)))
 	}
 	best := lower
 	upper := 2 * ecc
 	for depth := ecc; depth > 0 && upper > best; depth-- {
 		for _, v := range order[bounds[depth]:bounds[depth+1]] {
-			ws.Run(g, v, nil, -1)
+			ws.RunOptions(g, v, opt)
 			if e := int(ws.MaxDist()); e > best {
 				best = e
 			}
@@ -84,7 +82,8 @@ func Diameter(g *graph.Graph) int {
 
 // farthest returns the reached vertex with the largest distance in the
 // workspace's latest traversal, breaking ties toward the smaller
-// vertex id (matching the historical dense-scan selection).
+// vertex id (matching the historical dense-scan selection; the scan
+// order of the traversal does not affect the winner).
 func farthest(ws *bfs.Workspace) int32 {
 	best := int32(0)
 	bd := int32(-1)

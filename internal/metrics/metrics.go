@@ -321,28 +321,29 @@ func AvgPathLength(g *graph.Graph, opt PathLengthOptions) (avg float64, diamLB i
 	return float64(totalDist) / float64(totalPairs), int(maxD)
 }
 
-// IsBipartite reports whether the graph is 2-colorable, via BFS
-// coloring (one of the "specific graph class" checks the paper's
-// preprocessing uses to pick analysis algorithms).
+// IsBipartite reports whether the graph is 2-colorable (one of the
+// "specific graph class" checks the paper's preprocessing uses to pick
+// analysis algorithms). Each component is colored by BFS-level parity
+// through the shared frontier engine, then a single arc scan looks for
+// a same-side edge (an odd cycle).
 func IsBipartite(g *graph.Graph) bool {
 	n := g.NumVertices()
-	color := make([]int8, n) // 0 = unvisited, 1 / 2 = sides
-	queue := make([]int32, 0, 256)
+	side := make([]int8, n) // 0 = unvisited, 1 / 2 = level parity
+	ws := bfs.AcquireWorkspace(n)
+	defer bfs.ReleaseWorkspace(ws)
 	for root := int32(0); int(root) < n; root++ {
-		if color[root] != 0 {
+		if side[root] != 0 {
 			continue
 		}
-		color[root] = 1
-		queue = append(queue[:0], root)
-		for head := 0; head < len(queue); head++ {
-			v := queue[head]
-			for _, u := range g.Neighbors(v) {
-				if color[u] == 0 {
-					color[u] = 3 - color[v]
-					queue = append(queue, u)
-				} else if color[u] == color[v] {
-					return false
-				}
+		ws.Run(g, root, nil, -1)
+		for _, v := range ws.Order() {
+			side[v] = int8(1 + ws.Dist(v)&1)
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if side[u] == side[v] && u != v {
+				return false
 			}
 		}
 	}

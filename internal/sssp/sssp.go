@@ -8,6 +8,7 @@ import (
 	"math"
 	"sync"
 
+	"snap/internal/frontier"
 	"snap/internal/graph"
 	"snap/internal/par"
 )
@@ -78,10 +79,19 @@ type DeltaSteppingOptions struct {
 // relaxes all light edges (w <= delta) of the current bucket in
 // parallel until it stabilizes, then relaxes its heavy edges once.
 // Matches Dijkstra exactly on non-negative weights.
+//
+// Unweighted graphs skip the bucket machinery entirely: every edge
+// weighs 1, so delta-stepping degenerates to level-synchronous BFS,
+// and the traversal runs through the shared frontier engine (the same
+// queue the initial relaxation would otherwise hand-roll), with
+// direction optimization enabled.
 func DeltaStepping(g *graph.Graph, src int32, opt DeltaSteppingOptions) Result {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = par.Workers()
+	}
+	if g.W == nil {
+		return unweightedBFS(g, src, workers)
 	}
 	delta := opt.Delta
 	if delta <= 0 {
@@ -182,6 +192,31 @@ func DeltaStepping(g *graph.Graph, src int32, opt DeltaSteppingOptions) Result {
 				}
 			}
 		})
+	}
+	return Result{Dist: dist, Parent: parent}
+}
+
+// unweightedBFS is the degenerate delta-stepping case (all weights 1):
+// hop distances from one frontier-engine traversal, converted to the
+// float64 Result convention.
+func unweightedBFS(g *graph.Graph, src int32, workers int) Result {
+	n := g.NumVertices()
+	e := frontier.AcquireEngine(n)
+	defer frontier.ReleaseEngine(e)
+	e.RunOptions(g, src, frontier.Options{
+		Workers:  workers,
+		MaxDepth: -1,
+		Alpha:    frontier.DefaultAlpha,
+	})
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	for _, v := range e.Order() {
+		dist[v] = float64(e.Dist(v))
+		parent[v] = e.Parent(v)
 	}
 	return Result{Dist: dist, Parent: parent}
 }

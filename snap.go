@@ -63,6 +63,13 @@ func FromDynamic(d *Dynamic) *Graph { return d.ToCSR() }
 // Undirected returns g or its symmetrized copy when g is directed.
 func Undirected(g *Graph) *Graph { return graph.Undirected(g) }
 
+// Reverse returns the in-adjacency (transposed) CSR of a directed
+// graph, preserving per-arc edge ids and weights. The transpose is what
+// lets direction-optimizing BFS run bottom-up steps on directed graphs
+// (pass it via BFSOptions.Reverse). Undirected graphs are returned
+// unchanged.
+func Reverse(g *Graph) *Graph { return graph.Reverse(g) }
+
 // ReadEdgeList parses the text edge-list interchange format.
 func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	return graph.ReadEdgeList(r, directed)
@@ -124,6 +131,19 @@ func BFS(g *Graph, src int32) BFSResult {
 
 // BFSSerial runs the serial reference BFS.
 func BFSSerial(g *Graph, src int32) BFSResult { return bfs.Serial(g, src, nil) }
+
+// BFSOptions tunes the shared frontier engine behind the BFS entry
+// points: worker count, degree-aware frontier partitioning, the
+// direction-optimizing Alpha/Beta switch thresholds, and the reverse
+// (in-adjacency) graph that enables bottom-up steps on directed graphs.
+type BFSOptions = bfs.Options
+
+// BFSWithOptions runs the direction-optimizing BFS with explicit
+// engine tuning. Alpha <= 0 selects the default switch threshold;
+// set Beta to tune when the traversal returns to top-down.
+func BFSWithOptions(g *Graph, src int32, opt BFSOptions) BFSResult {
+	return bfs.DirectionOptimizing(g, src, opt)
+}
 
 // BFSWorkspace is reusable epoch-stamped BFS state: resetting between
 // sources is O(1), so multi-source traversal loops run allocation-free.

@@ -212,13 +212,6 @@ func Figure3b(cfg Config) {
 	fmt.Fprintln(w)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // All runs every experiment in paper order.
 func All(cfg Config) {
 	cfg.fill()

@@ -1,8 +1,6 @@
 package community
 
 import (
-	"sort"
-
 	"snap/internal/graph"
 )
 
@@ -36,35 +34,31 @@ func MakeQuotient(g *graph.Graph, assign []int32, count int) Quotient {
 		q.Size[c]++
 		q.DegSum[c] += int64(g.Degree(int32(v)))
 	}
-	type pair struct{ a, b int32 }
-	between := map[pair]float64{}
+	edges := make([]graph.Edge, 0, g.NumEdges())
 	for _, e := range g.EdgeEndpoints() {
 		ca, cb := assign[e.U], assign[e.V]
 		if ca == cb {
 			q.Intra[ca]++
 			continue
 		}
-		if ca > cb {
-			ca, cb = cb, ca
-		}
-		between[pair{ca, cb}]++
+		edges = append(edges, graph.Edge{U: ca, V: cb, W: 1})
 	}
-	edges := make([]graph.Edge, 0, len(between))
-	for p, w := range between {
-		edges = append(edges, graph.Edge{U: p.a, V: p.b, W: w})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
-	qg, err := graph.Build(count, edges, graph.BuildOptions{Weighted: true})
-	if err != nil {
-		panic("community: quotient: " + err.Error())
-	}
-	q.Graph = qg
+	q.Graph = aggregateQuotient(count, edges, "quotient")
 	return q
+}
+
+// aggregateQuotient collapses raw inter-community edge observations
+// into the weighted community graph. The parallel assembly kernel's
+// summing dedup does the aggregation: duplicates of a community pair
+// sum their weights in input order, so the result is identical to the
+// former map-then-sort path while skipping both the map and the global
+// edge sort.
+func aggregateQuotient(count int, edges []graph.Edge, what string) *graph.Graph {
+	qg, err := graph.Build(count, edges, graph.BuildOptions{Weighted: true, SumWeights: true})
+	if err != nil {
+		panic("community: " + what + ": " + err.Error())
+	}
+	return qg
 }
 
 // Louvain is the multilevel local-moving heuristic (Blondel et al.
@@ -113,8 +107,7 @@ func contractQuotient(level Quotient, qa []int32, qc int) Quotient {
 		out.DegSum[c] += level.DegSum[v]
 		out.Intra[c] += level.Intra[v]
 	}
-	type pair struct{ a, b int32 }
-	between := map[pair]float64{}
+	edges := make([]graph.Edge, 0, level.Graph.NumEdges())
 	for _, e := range level.Graph.EdgeEndpoints() {
 		ca, cb := qa[e.U], qa[e.V]
 		if ca == cb {
@@ -122,26 +115,9 @@ func contractQuotient(level Quotient, qa []int32, qc int) Quotient {
 			out.Intra[ca] += int64(e.W)
 			continue
 		}
-		if ca > cb {
-			ca, cb = cb, ca
-		}
-		between[pair{ca, cb}] += e.W
+		edges = append(edges, graph.Edge{U: ca, V: cb, W: e.W})
 	}
-	edges := make([]graph.Edge, 0, len(between))
-	for p, w := range between {
-		edges = append(edges, graph.Edge{U: p.a, V: p.b, W: w})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
-	qg, err := graph.Build(qc, edges, graph.BuildOptions{Weighted: true})
-	if err != nil {
-		panic("community: contract: " + err.Error())
-	}
-	out.Graph = qg
+	out.Graph = aggregateQuotient(qc, edges, "contract")
 	return out
 }
 

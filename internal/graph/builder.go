@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"snap/internal/par"
 )
 
 // BuildOptions controls CSR construction.
@@ -19,11 +21,44 @@ type BuildOptions struct {
 	// AllowMulti keeps parallel edges; by default duplicates (same
 	// endpoint pair) collapse to one edge, keeping the first weight.
 	AllowMulti bool
+	// SumWeights changes the duplicate collapse (AllowMulti false) to
+	// sum the duplicates' weights, in input order, instead of keeping
+	// the first — the aggregation mode used by community quotients and
+	// other graph contractions. Ignored when AllowMulti is set.
+	SumWeights bool
 }
 
 // Build constructs a CSR graph with n vertices from edges.
 // Endpoints outside [0, n) are an error.
+//
+// Construction runs the parallel assembly kernel (see assemble.go)
+// above a small size threshold and a serial reference path below it;
+// both produce bit-identical graphs: edge ids are deterministic ranks
+// (input order with AllowMulti, sorted unique-pair order without), and
+// adjacency arcs are ordered by (neighbor, edge id).
 func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
+	if len(edges) < serialBuildThreshold {
+		return buildSerial(n, edges, opt)
+	}
+	// Even at one worker the assembly kernel wins: counting-sort
+	// placement plus short per-vertex sorts beat the global sort.
+	return buildParallel(n, edges, opt, par.Workers())
+}
+
+// MustBuild is Build but panics on error; intended for tests, embedded
+// datasets, and generators whose inputs are valid by construction.
+func MustBuild(n int, edges []Edge, opt BuildOptions) *Graph {
+	g, err := Build(n, edges, opt)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildSerial is the serial reference builder: a stable global sort
+// plus counting pass. The parallel kernel is property-tested to be
+// bit-identical to it across the full option matrix.
+func buildSerial(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
@@ -43,7 +78,10 @@ func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 		clean = append(clean, e)
 	}
 	if !opt.AllowMulti {
-		sort.Slice(clean, func(i, j int) bool {
+		// Stable, so the first occurrence of each duplicate pair leads
+		// its run: first-wins (and SumWeights summation order) are
+		// pinned to input order.
+		sort.SliceStable(clean, func(i, j int) bool {
 			if clean[i].U != clean[j].U {
 				return clean[i].U < clean[j].U
 			}
@@ -52,6 +90,9 @@ func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 		dedup := clean[:0]
 		for i, e := range clean {
 			if i > 0 && e.U == dedup[len(dedup)-1].U && e.V == dedup[len(dedup)-1].V {
+				if opt.SumWeights {
+					dedup[len(dedup)-1].W += e.W
+				}
 				continue
 			}
 			dedup = append(dedup, e)
@@ -112,24 +153,16 @@ func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	return g, nil
 }
 
-// MustBuild is Build but panics on error; intended for tests, embedded
-// datasets, and generators whose inputs are valid by construction.
-func MustBuild(n int, edges []Edge, opt BuildOptions) *Graph {
-	g, err := Build(n, edges, opt)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // sortAdjacencies sorts each vertex's arcs by neighbor id, carrying the
-// parallel EID and W entries along.
+// parallel EID and W entries along. Arcs are placed in ascending edge
+// id order, so the stable sort yields the canonical (neighbor, edge id)
+// arc order.
 func (g *Graph) sortAdjacencies() {
 	n := g.NumVertices()
 	for v := 0; v < n; v++ {
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
 		s := arcSorter{g: g, lo: lo, n: int(hi - lo)}
-		sort.Sort(s)
+		sort.Stable(s)
 	}
 }
 
@@ -151,20 +184,4 @@ func (s arcSorter) Swap(i, j int) {
 	if g.W != nil {
 		g.W[a], g.W[b] = g.W[b], g.W[a]
 	}
-}
-
-// Undirected returns g if it is already undirected, or a symmetrized
-// copy obtained by ignoring arc directions (the paper's treatment of
-// directed inputs in community detection: "we ignore edge directivity").
-func Undirected(g *Graph) *Graph {
-	if !g.directed {
-		return g
-	}
-	edges := g.EdgeEndpoints()
-	opt := BuildOptions{Directed: false, Weighted: g.Weighted()}
-	out, err := Build(g.NumVertices(), edges, opt)
-	if err != nil {
-		panic("graph: symmetrize: " + err.Error())
-	}
-	return out
 }

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseEdgeListSharded checks that the byte-range-sharded parser
+// matches a single-shard scan on an input large and messy enough to
+// exercise shard stitching: comments and blank lines interleaved,
+// CRLF endings, mixed weighted lines, and a mid-file n= header.
+func TestParseEdgeListSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var sb strings.Builder
+	sb.WriteString("# snap edge list: n=900 m=0 undirected\n")
+	for i := 0; i < 5000; i++ {
+		switch {
+		case i%97 == 0:
+			sb.WriteString("# interleaved comment\n")
+		case i%131 == 0:
+			sb.WriteString("\n")
+		case i%53 == 0:
+			fmt.Fprintf(&sb, "  %d\t%d %g\r\n", rng.Intn(800), rng.Intn(800), rng.Float64())
+		default:
+			fmt.Fprintf(&sb, "%d %d\n", rng.Intn(800), rng.Intn(800))
+		}
+	}
+	data := []byte(sb.String())
+
+	want, err := parseEdgeList(data, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		got, err := parseEdgeList(data, false, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireIdentical(t, fmt.Sprintf("workers=%d", workers), got, want)
+	}
+	if want.NumVertices() != 900 {
+		t.Fatalf("NumVertices = %d, want 900 from header", want.NumVertices())
+	}
+	if !want.Weighted() {
+		t.Fatal("mixed weighted lines should yield a weighted graph")
+	}
+}
+
+func TestParseEdgeListErrorLineNumbers(t *testing.T) {
+	var sb strings.Builder
+	for i := 1; i <= 4000; i++ {
+		if i == 3137 {
+			sb.WriteString("12 oops\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "%d %d\n", i%50, (i+7)%50)
+	}
+	for _, workers := range []int{1, 4, 9} {
+		_, err := parseEdgeList([]byte(sb.String()), false, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: want parse error", workers)
+		}
+		if !strings.Contains(err.Error(), "line 3137") {
+			t.Fatalf("workers=%d: err %q should name line 3137", workers, err)
+		}
+	}
+
+	// Earliest of several errors wins, regardless of sharding.
+	bad := strings.Repeat("1 2\n", 1000) + "x y\n" + strings.Repeat("3 4\n", 1000) + "z w\n"
+	for _, workers := range []int{1, 5} {
+		_, err := parseEdgeList([]byte(bad), false, workers)
+		if err == nil || !strings.Contains(err.Error(), "line 1001") {
+			t.Fatalf("workers=%d: err %v, want line 1001", workers, err)
+		}
+	}
+}
+
+func TestEdgeListRoundTripParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var edges []Edge
+	for i := 0; i < 9000; i++ {
+		edges = append(edges, Edge{int32(rng.Intn(700)), int32(rng.Intn(700)), float64(rng.Intn(90)) / 8})
+	}
+	for _, opt := range []BuildOptions{
+		{Weighted: true},
+		{Directed: true, Weighted: true},
+		{Directed: true},
+	} {
+		g := MustBuild(700, edges, opt)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("dir=%v w=%v", opt.Directed, opt.Weighted), back, g)
+	}
+}

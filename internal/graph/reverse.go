@@ -45,22 +45,7 @@ func Reverse(g *Graph) *Graph {
 	// Prefix pass: offsets per target vertex, then per-worker write
 	// cursors (worker order = ascending source order).
 	offsets := make([]int64, n+1)
-	var acc int64
-	for v := 0; v < n; v++ {
-		offsets[v] = acc
-		for w := 0; w < workers; w++ {
-			acc += counts[w][v]
-		}
-	}
-	offsets[n] = acc
-	for v := 0; v < n; v++ {
-		base := offsets[v]
-		for w := 0; w < workers; w++ {
-			c := counts[w][v]
-			counts[w][v] = base
-			base += c
-		}
-	}
+	acc := par.CursorsFromCounts(counts, offsets)
 
 	// Pass 2: place arcs. Cursor ranges are disjoint across workers,
 	// so placement needs no atomics.

@@ -218,10 +218,3 @@ func ForDegreeAware(weight []int64, workers int, body func(worker, lo, hi int)) 
 	}
 	wg.Wait()
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

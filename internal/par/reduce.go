@@ -99,21 +99,6 @@ func CountInt64(n int, pred func(i int) bool) int64 {
 	})
 }
 
-// PrefixSum computes the exclusive prefix sum of src into a new slice of
-// length len(src)+1: out[0]=0 and out[i+1]=out[i]+src[i]. The final
-// element is the total. Used to lay out CSR offsets and per-worker
-// output regions.
-func PrefixSum(src []int64) []int64 {
-	out := make([]int64, len(src)+1)
-	var acc int64
-	for i, v := range src {
-		out[i] = acc
-		acc += v
-	}
-	out[len(src)] = acc
-	return out
-}
-
 // MinMaxInt64 returns the minimum and maximum of f over [0, n).
 // n must be > 0.
 func MinMaxInt64(n int, f func(i int) int64) (mn, mx int64) {

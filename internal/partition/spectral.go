@@ -529,10 +529,3 @@ func thomasSolve(alpha, beta []float64, shift float64, b []float64) ([]float64, 
 	}
 	return y, true
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -2,9 +2,10 @@ package partition
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"snap/internal/graph"
+	"snap/internal/par"
 )
 
 // wgraph is the weighted working graph of the multilevel pipeline:
@@ -90,8 +91,25 @@ func (w *wgraph) heavyEdgeMatching(rng *rand.Rand) []int32 {
 	return match
 }
 
+// ce is a coarse arc observation: target coarse vertex and the weight
+// of one contracted fine edge.
+type ce struct {
+	to int32
+	w  int64
+}
+
+func ceLess(a, b ce) int { return int(a.to) - int(b.to) }
+
 // coarsen contracts the matching into a coarser wgraph and returns it
 // with the fine-to-coarse vertex map.
+//
+// Edge aggregation uses the same counting-sort assembly pattern as the
+// parallel CSR builder: per-worker histograms over fine-vertex chunks,
+// a prefix/cursor pass, atomics-free scatter into per-coarse-vertex
+// buckets, then a parallel per-bucket sort (one shared comparison
+// function — no closure allocation per bucket) with in-pass collapse
+// of parallel edges. Weight sums are integers, so the result is
+// deterministic for any worker count.
 func (w *wgraph) coarsen(match []int32) (*wgraph, []int32) {
 	n := w.n()
 	coarseOf := make([]int32, n)
@@ -109,54 +127,94 @@ func (w *wgraph) coarsen(match []int32) (*wgraph, []int32) {
 		}
 		cn++
 	}
-	// Aggregate edges per coarse vertex.
-	type ce struct {
-		to int32
-		w  int64
+
+	workers := par.Workers()
+	if workers > n {
+		workers = max(1, n)
 	}
-	buckets := make([][]ce, cn)
+	// Histogram pass: surviving (non-contracted) arcs per coarse vertex.
+	counts := make([][]int64, workers)
+	par.ForChunkedN(n, workers, func(ww, lo, hi int) {
+		c := make([]int64, cn)
+		for v := lo; v < hi; v++ {
+			cv := coarseOf[v]
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				if coarseOf[w.adj[a]] != cv {
+					c[cv]++
+				}
+			}
+		}
+		counts[ww] = c
+	})
+	for ww := range counts {
+		if counts[ww] == nil {
+			counts[ww] = make([]int64, cn)
+		}
+	}
+	bucketOff := make([]int64, cn+1)
+	total := par.CursorsFromCounts(counts, bucketOff)
+
+	// Scatter pass into disjoint cursor ranges, then aggregate vertex
+	// weights serially (O(n), cheap next to the arc work).
+	arcs := make([]ce, total)
+	par.ForChunkedN(n, workers, func(ww, lo, hi int) {
+		cur := counts[ww]
+		for v := lo; v < hi; v++ {
+			cv := coarseOf[v]
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				cu := coarseOf[w.adj[a]]
+				if cu == cv {
+					continue // contracted (or self) edge
+				}
+				arcs[cur[cv]] = ce{to: cu, w: w.ew[a]}
+				cur[cv]++
+			}
+		}
+	})
 	vw := make([]int64, cn)
-	for v := int32(0); int(v) < n; v++ {
-		cv := coarseOf[v]
-		vw[cv] += w.vw[v]
-		for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-			cu := coarseOf[w.adj[a]]
-			if cu == cv {
-				continue // contracted (or self) edge
-			}
-			buckets[cv] = append(buckets[cv], ce{to: cu, w: w.ew[a]})
-		}
+	for v := 0; v < n; v++ {
+		vw[coarseOf[v]] += w.vw[v]
 	}
-	out := &wgraph{vw: vw, offsets: make([]int64, cn+1)}
+
+	// Per-bucket sort + collapse, degree-aware across workers.
+	uniq := make([]int64, cn)
+	sizes := make([]int64, cn)
 	for cv := int32(0); cv < cn; cv++ {
-		b := buckets[cv]
-		sort.Slice(b, func(i, j int) bool { return b[i].to < b[j].to })
-		// Collapse parallel edges.
-		k := 0
-		for i := 0; i < len(b); {
-			j := i
-			var sum int64
-			for j < len(b) && b[j].to == b[i].to {
-				sum += b[j].w
-				j++
+		sizes[cv] = bucketOff[cv+1] - bucketOff[cv]
+	}
+	par.ForDegreeAware(sizes, workers, func(ww, lo, hi int) {
+		for cv := lo; cv < hi; cv++ {
+			b := arcs[bucketOff[cv]:bucketOff[cv+1]]
+			slices.SortFunc(b, ceLess)
+			k := 0
+			for i := 0; i < len(b); {
+				j := i
+				var sum int64
+				for j < len(b) && b[j].to == b[i].to {
+					sum += b[j].w
+					j++
+				}
+				b[k] = ce{to: b[i].to, w: sum}
+				k++
+				i = j
 			}
-			b[k] = ce{to: b[i].to, w: sum}
-			k++
-			i = j
+			uniq[cv] = int64(k)
 		}
-		buckets[cv] = b[:k]
-		out.offsets[cv+1] = out.offsets[cv] + int64(k)
-	}
-	total := out.offsets[cn]
-	out.adj = make([]int32, total)
-	out.ew = make([]int64, total)
-	for cv := int32(0); cv < cn; cv++ {
-		base := out.offsets[cv]
-		for i, e := range buckets[cv] {
-			out.adj[base+int64(i)] = e.to
-			out.ew[base+int64(i)] = e.w
+	})
+
+	out := &wgraph{vw: vw, offsets: par.PrefixSum(uniq)}
+	out.adj = make([]int32, out.offsets[cn])
+	out.ew = make([]int64, out.offsets[cn])
+	par.ForDegreeAware(uniq, workers, func(ww, lo, hi int) {
+		for cv := lo; cv < hi; cv++ {
+			base := out.offsets[cv]
+			blo := bucketOff[cv]
+			for i := int64(0); i < uniq[cv]; i++ {
+				out.adj[base+i] = arcs[blo+i].to
+				out.ew[base+i] = arcs[blo+i].w
+			}
 		}
-	}
+	})
 	return out, coarseOf
 }
 

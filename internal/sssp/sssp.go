@@ -242,13 +242,6 @@ func defaultDelta(g *graph.Graph) float64 {
 	return d
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 type distItem struct {
 	d float64
 	v int32

@@ -42,14 +42,20 @@ type Graph = graph.Graph
 // Edge is an input edge for graph construction.
 type Edge = graph.Edge
 
-// BuildOptions controls CSR construction.
+// BuildOptions controls CSR construction. SumWeights makes duplicate
+// edges accumulate their weights (in input order) instead of keeping
+// the first; AllowMulti keeps parallel edges distinct.
 type BuildOptions = graph.BuildOptions
 
 // Dynamic is the mutable graph with treap-backed high-degree
 // adjacencies.
 type Dynamic = graph.Dynamic
 
-// Build constructs a CSR graph from an edge list.
+// Build constructs a CSR graph from an edge list. Large inputs are
+// assembled by a parallel counting-sort pipeline (validate, histogram,
+// scatter, per-vertex sort/dedup); the result is bit-identical for any
+// worker count, and identical to the serial builder used below the
+// size threshold.
 func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 	return graph.Build(n, edges, opt)
 }
@@ -61,6 +67,9 @@ func NewDynamic(n int, directed bool) *Dynamic { return graph.NewDynamic(n, dire
 func FromDynamic(d *Dynamic) *Graph { return d.ToCSR() }
 
 // Undirected returns g or its symmetrized copy when g is directed.
+// Symmetrization merges each vertex's out- and in-adjacency runs
+// straight from the CSR (no intermediate edge list), keeping the
+// lowest edge id when antiparallel arcs collapse.
 func Undirected(g *Graph) *Graph { return graph.Undirected(g) }
 
 // Reverse returns the in-adjacency (transposed) CSR of a directed
@@ -70,7 +79,9 @@ func Undirected(g *Graph) *Graph { return graph.Undirected(g) }
 // unchanged.
 func Reverse(g *Graph) *Graph { return graph.Reverse(g) }
 
-// ReadEdgeList parses the text edge-list interchange format.
+// ReadEdgeList parses the text edge-list interchange format. Large
+// inputs are split at newline boundaries and parsed by parallel
+// shards; errors report the same line numbers as a serial scan.
 func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	return graph.ReadEdgeList(r, directed)
 }

@@ -75,6 +75,24 @@ func ExampleKCore() {
 	// Output: 2 2
 }
 
+func ExampleDeltaStepping() {
+	// The two-triangle graph with weighted arcs: the bridge is cheap,
+	// the triangle edges cost 2 each.
+	g, err := snap.Build(6, []snap.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 2},
+		{U: 3, V: 4, W: 2}, {U: 4, V: 5, W: 2}, {U: 3, V: 5, W: 2},
+		{U: 2, V: 3, W: 1},
+	}, snap.BuildOptions{Weighted: true})
+	if err != nil {
+		panic(err)
+	}
+	// A wide bucket makes every edge light; two workers relax them
+	// concurrently. Any Delta and Workers give the same distances.
+	r := snap.DeltaStepping(g, 0, snap.DeltaSteppingOptions{Delta: 4, Workers: 2})
+	fmt.Println(r.Dist[5])
+	// Output: 5
+}
+
 func ExampleNMI() {
 	a := []int32{0, 0, 0, 1, 1, 1}
 	b := []int32{1, 1, 1, 0, 0, 0} // same partition, relabeled

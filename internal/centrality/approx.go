@@ -95,6 +95,11 @@ func ApproxBetweenness(g *graph.Graph, opt ApproxOptions) Scores {
 	}
 	used := 0
 	threshold := opt.Alpha * float64(n)
+	// The adaptive-stop statistic is the maximum accumulated dependency
+	// so far. Dependencies only grow as batches accumulate, so the
+	// maximum is maintained incrementally while folding each batch in —
+	// no per-batch rescan of the full score arrays.
+	mx := 0.0
 	for used < budget {
 		batch := opt.BatchSize
 		if used+batch > budget {
@@ -112,13 +117,23 @@ func ApproxBetweenness(g *graph.Graph, opt ApproxOptions) Scores {
 			Sources:       sources,
 		})
 		for i, v := range part.Vertex {
-			out.Vertex[i] += v
+			if v != 0 {
+				out.Vertex[i] += v
+				if out.Vertex[i] > mx {
+					mx = out.Vertex[i]
+				}
+			}
 		}
 		for i, v := range part.Edge {
-			out.Edge[i] += v
+			if v != 0 {
+				out.Edge[i] += v
+				if out.Edge[i] > mx {
+					mx = out.Edge[i]
+				}
+			}
 		}
 		used += batch
-		if used >= opt.MinSamples && runningMax(out.Vertex, out.Edge) >= threshold {
+		if used >= opt.MinSamples && mx >= threshold {
 			break
 		}
 	}
@@ -126,21 +141,6 @@ func ApproxBetweenness(g *graph.Graph, opt ApproxOptions) Scores {
 	ScaleSampled(out.Vertex, n, used)
 	ScaleSampled(out.Edge, n, used)
 	return out
-}
-
-func runningMax(a, b []float64) float64 {
-	mx := 0.0
-	for _, v := range a {
-		if v > mx {
-			mx = v
-		}
-	}
-	for _, v := range b {
-		if v > mx {
-			mx = v
-		}
-	}
-	return mx
 }
 
 // ApproxVertexBetweenness estimates the betweenness of a single vertex

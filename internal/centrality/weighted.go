@@ -1,7 +1,6 @@
 package centrality
 
 import (
-	"container/heap"
 	"math"
 
 	"snap/internal/graph"
@@ -13,7 +12,9 @@ import (
 // traversals (the paper's path definitions sum edge weights; this is
 // the weighted counterpart of the BFS-based kernel). Unweighted graphs
 // fall back to the faster BFS variant. Coarse-grained parallel over
-// sources with per-worker accumulators.
+// sources with per-worker accumulators; traversal scratch comes from a
+// shared pool and resets sparsely between sources, so a batch of
+// sources pays O(touched) bookkeeping per traversal, not O(n).
 func WeightedBetweenness(g *graph.Graph, opt BetweennessOptions) Scores {
 	if !g.Weighted() {
 		return Betweenness(g, opt)
@@ -42,7 +43,7 @@ func WeightedBetweenness(g *graph.Graph, opt BetweennessOptions) Scores {
 	}
 	accs := make([]acc, workers)
 	par.ForChunkedN(len(sources), workers, func(w, lo, hi int) {
-		st := newDijkstraBrandes(n)
+		st := acquireDijkstraBrandes(n)
 		a := acc{}
 		if opt.ComputeVertex {
 			a.vertex = make([]float64, n)
@@ -53,6 +54,7 @@ func WeightedBetweenness(g *graph.Graph, opt BetweennessOptions) Scores {
 		for i := lo; i < hi; i++ {
 			st.run(g, sources[i], opt.Alive, a.vertex, a.edge)
 		}
+		releaseDijkstraBrandes(st)
 		accs[w] = a
 	})
 	out := Scores{Sources: len(sources)}
@@ -78,59 +80,114 @@ func WeightedBetweenness(g *graph.Graph, opt BetweennessOptions) Scores {
 }
 
 // dijkstraBrandes is the per-worker state of one weighted traversal.
+// Like brandesState, its vertex-indexed arrays keep a clean invariant
+// between runs — dist +Inf, sigma/delta 0, done false — restored
+// sparsely over the settle order on each run's exit, so acquiring a
+// pooled state and running many sources does no O(n) re-initialization.
 type dijkstraBrandes struct {
-	dist  []float64
-	sigma []float64
-	delta []float64
-	order []int32 // vertices in settle order
-	done  []bool
+	dist  []float64 // clean: +Inf
+	sigma []float64 // clean: 0
+	delta []float64 // clean: 0
+	done  []bool    // clean: false
+	order []int32   // vertices in settle order (emptied per run)
+	heap  []wbItem  // binary min-heap scratch (emptied per run)
 }
 
-func newDijkstraBrandes(n int) *dijkstraBrandes {
-	return &dijkstraBrandes{
-		dist:  make([]float64, n),
-		sigma: make([]float64, n),
-		delta: make([]float64, n),
-		order: make([]int32, 0, n),
-		done:  make([]bool, n),
+// wbPool amortizes weighted-Brandes scratch across calls; the batched
+// loops of WeightedBetweenness re-acquire per worker chunk and get the
+// previous chunk's allocations back.
+var wbPool = par.NewPool(func() *dijkstraBrandes { return &dijkstraBrandes{} })
+
+// acquireDijkstraBrandes returns a pooled state sized for n vertices,
+// satisfying the clean invariant. Release with releaseDijkstraBrandes.
+func acquireDijkstraBrandes(n int) *dijkstraBrandes {
+	st := wbPool.Get()
+	st.resize(n)
+	return st
+}
+
+func releaseDijkstraBrandes(st *dijkstraBrandes) { wbPool.Put(st) }
+
+func (st *dijkstraBrandes) resize(n int) {
+	if cap(st.dist) < n {
+		// Fresh allocations are filled to capacity so later in-capacity
+		// regrows stay clean; previously used entries were restored by
+		// the run that touched them.
+		st.dist = make([]float64, n)
+		st.dist = st.dist[:cap(st.dist)]
+		for i := range st.dist {
+			st.dist[i] = math.Inf(1)
+		}
+		st.sigma = make([]float64, cap(st.dist))
+		st.delta = make([]float64, cap(st.dist))
+		st.done = make([]bool, cap(st.dist))
 	}
+	st.dist = st.dist[:n]
+	st.sigma = st.sigma[:n]
+	st.delta = st.delta[:n]
+	st.done = st.done[:n]
 }
 
+// wbItem is one heap entry: a tentative distance and its vertex.
 type wbItem struct {
 	d float64
 	v int32
 }
 
-type wbHeap []wbItem
+// hpush/hpop are a hand-rolled binary min-heap on st.heap. The stdlib
+// container/heap interface moves items through interface{} values and
+// allocates on every Push; with one push per successful relaxation that
+// dominated the allocation profile of WeightedBetweenness.
+func (st *dijkstraBrandes) hpush(it wbItem) {
+	h := append(st.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[i].d >= h[p].d {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	st.heap = h
+}
 
-func (h wbHeap) Len() int            { return len(h) }
-func (h wbHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h wbHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wbHeap) Push(x interface{}) { *h = append(*h, x.(wbItem)) }
-func (h *wbHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (st *dijkstraBrandes) hpop() wbItem {
+	h := st.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h[l].d < h[small].d {
+			small = l
+		}
+		if r < last && h[r].d < h[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	st.heap = h
+	return top
 }
 
 const wbEps = 1e-12
 
 func (st *dijkstraBrandes) run(g *graph.Graph, s int32, alive []bool, vertexAcc, edgeAcc []float64) {
 	dist, sigma, delta := st.dist, st.sigma, st.delta
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		sigma[i] = 0
-		delta[i] = 0
-		st.done[i] = false
-	}
 	order := st.order[:0]
 	dist[s] = 0
 	sigma[s] = 1
-	h := &wbHeap{{d: 0, v: s}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(wbItem)
+	st.heap = append(st.heap[:0], wbItem{d: 0, v: s})
+	for len(st.heap) > 0 {
+		it := st.hpop()
 		v := it.v
 		if st.done[v] {
 			continue
@@ -148,7 +205,7 @@ func (st *dijkstraBrandes) run(g *graph.Graph, s int32, alive []bool, vertexAcc,
 			case nd < dist[u]-wbEps:
 				dist[u] = nd
 				sigma[u] = sigma[v]
-				heap.Push(h, wbItem{d: nd, v: u})
+				st.hpush(wbItem{d: nd, v: u})
 			case math.Abs(nd-dist[u]) <= wbEps:
 				sigma[u] += sigma[v]
 			}
@@ -177,5 +234,14 @@ func (st *dijkstraBrandes) run(g *graph.Graph, s int32, alive []bool, vertexAcc,
 		if vertexAcc != nil {
 			vertexAcc[w] += delta[w]
 		}
+	}
+	// Restore the clean invariant sparsely: every vertex whose state was
+	// written is settled (each relaxed vertex carries a heap entry, and
+	// Dijkstra drains the heap), so the settle order covers them all.
+	for _, v := range order {
+		dist[v] = math.Inf(1)
+		sigma[v] = 0
+		delta[v] = 0
+		st.done[v] = false
 	}
 }

@@ -72,3 +72,20 @@ func TestWeightedBetweennessFallbackUnweighted(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkWeightedBetweennessRMAT measures weighted Brandes over a
+// fixed source sample on a weighted RMAT instance (scale 11; exact
+// weighted betweenness is O(sources * m log n)).
+func BenchmarkWeightedBetweennessRMAT(b *testing.B) {
+	n := 1 << 11
+	g := generate.RandomWeights(generate.RMAT(n, 8*n, generate.DefaultRMAT(), 1), 10, 2)
+	sources := make([]int32, 64)
+	for i := range sources {
+		sources[i] = int32(i * 29)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WeightedBetweenness(g, BetweennessOptions{Sources: sources})
+	}
+}

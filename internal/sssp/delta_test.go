@@ -1,0 +1,230 @@
+package sssp
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+// reweight returns a weighted copy of g with weights drawn by pick.
+func reweight(g *graph.Graph, pick func(rng *rand.Rand) float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.EdgeEndpoints()
+	for i := range edges {
+		edges[i].W = pick(rng)
+	}
+	return graph.MustBuild(g.NumVertices(), edges, graph.BuildOptions{
+		Directed: g.Directed(),
+		Weighted: true,
+	})
+}
+
+func uniformW(rng *rand.Rand) float64 { return float64(1 + rng.Intn(10)) }
+func equalW(*rand.Rand) float64       { return 3 }
+
+// heavyTailW spans three orders of magnitude so the default delta
+// leaves many heavy arcs and tiny deltas overflow the cyclic window.
+func heavyTailW(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	return 1 + math.Floor(999*u*u*u*u)
+}
+
+// parentOracle computes the documented deterministic Parent: for every
+// reached v != src, the tail of the minimum-index arc a satisfying
+// dist[tail(a)] + w[a] == dist[v] exactly.
+func parentOracle(g *graph.Graph, src int32, dist []float64) []int32 {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	bestArc := make([]int64, n)
+	for i := range parent {
+		parent[i] = -1
+		bestArc[i] = math.MaxInt64
+	}
+	for u := int32(0); int(u) < n; u++ {
+		du := dist[u]
+		if math.IsInf(du, 1) {
+			continue
+		}
+		for a := g.Offsets[u]; a < g.Offsets[u+1]; a++ {
+			v := g.Adj[a]
+			if du+g.W[a] == dist[v] && a < bestArc[v] {
+				bestArc[v] = a
+				parent[v] = u
+			}
+		}
+	}
+	parent[src] = src
+	return parent
+}
+
+// TestDeltaSteppingEquivalenceMatrix drives the lock-free engine
+// across graph families, weight distributions, bucket widths, and
+// worker counts: Dist must be bit-identical to Dijkstra and Parent
+// must equal the deterministic minimum-arc oracle in every cell.
+func TestDeltaSteppingEquivalenceMatrix(t *testing.T) {
+	type tc struct {
+		name string
+		g    *graph.Graph
+	}
+	rmat := generate.RMAT(220, 880, generate.DefaultRMAT(), 3)
+	er := generate.ErdosRenyi(200, 700, 4)
+	// Disconnected: 260 vertices, edges confined to the first 130.
+	discEdges := []graph.Edge{}
+	drng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		discEdges = append(discEdges, graph.Edge{
+			U: int32(drng.Intn(130)), V: int32(drng.Intn(130)),
+		})
+	}
+	disc := graph.MustBuild(260, discEdges, graph.BuildOptions{})
+	// Directed: an ER graph rebuilt with directed arcs.
+	dirEdges := er.EdgeEndpoints()
+	directed := graph.MustBuild(200, dirEdges, graph.BuildOptions{Directed: true})
+
+	cases := []tc{}
+	for _, base := range []tc{{"rmat", rmat}, {"er", er}, {"disc", disc}, {"directed", directed}} {
+		cases = append(cases,
+			tc{base.name + "/uniform", reweight(base.g, uniformW, 11)},
+			tc{base.name + "/heavytail", reweight(base.g, heavyTailW, 12)},
+			tc{base.name + "/allequal", reweight(base.g, equalW, 13)},
+		)
+	}
+	deltas := []float64{0, 0.01, 1e9} // default heuristic, tiny (window overflow), huge (single bucket)
+	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
+	for _, c := range cases {
+		src := int32(1)
+		want := Dijkstra(c.g, src)
+		oracle := parentOracle(c.g, src, want.Dist)
+		for _, delta := range deltas {
+			for _, workers := range workerCounts {
+				got := DeltaStepping(c.g, src, DeltaSteppingOptions{Delta: delta, Workers: workers})
+				for v := range want.Dist {
+					if math.Float64bits(got.Dist[v]) != math.Float64bits(want.Dist[v]) {
+						t.Fatalf("%s delta=%g workers=%d: dist[%d] = %g, want %g (bit-exact)",
+							c.name, delta, workers, v, got.Dist[v], want.Dist[v])
+					}
+					if got.Parent[v] != oracle[v] {
+						t.Fatalf("%s delta=%g workers=%d: parent[%d] = %d, want %d (min-arc oracle)",
+							c.name, delta, workers, v, got.Parent[v], oracle[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingWorkspaceReuseManySources reuses one pooled
+// workspace for 60+ runs alternating between two graphs of different
+// sizes and weight ranges, exercising the sparse reset, the per-graph
+// partition/max-weight caches, and cross-graph resizing.
+func TestDeltaSteppingWorkspaceReuseManySources(t *testing.T) {
+	g1 := reweight(generate.RMAT(300, 1200, generate.DefaultRMAT(), 5), uniformW, 21)
+	g2 := reweight(generate.ErdosRenyi(140, 500, 6), heavyTailW, 22)
+	want1, want2 := map[int32]Result{}, map[int32]Result{}
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	for i := 0; i < 64; i++ {
+		g, want := g1, want1
+		if i%3 == 2 {
+			g, want = g2, want2
+		}
+		src := int32((i * 17) % g.NumVertices())
+		if _, ok := want[src]; !ok {
+			want[src] = Dijkstra(g, src)
+		}
+		delta := 0.0
+		if i%5 == 4 {
+			delta = 2.5
+		}
+		ws.Run(g, src, DeltaSteppingOptions{Delta: delta, Workers: 1 + i%3})
+		exp := want[src]
+		oracle := parentOracle(g, src, exp.Dist)
+		for v := range exp.Dist {
+			if math.Float64bits(ws.Dist()[v]) != math.Float64bits(exp.Dist[v]) {
+				t.Fatalf("run %d src %d: dist[%d] = %g, want %g", i, src, v, ws.Dist()[v], exp.Dist[v])
+			}
+			if ws.Parent()[v] != oracle[v] {
+				t.Fatalf("run %d src %d: parent[%d] = %d, want %d", i, src, v, ws.Parent()[v], oracle[v])
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingFarOverflow forces the capped cyclic window: a
+// weight spread of six orders of magnitude with a tiny delta makes
+// ceil(maxW/delta) dwarf maxSlots, so heavy relaxations must take the
+// far-list detour and be redistributed as the window advances.
+func TestDeltaSteppingFarOverflow(t *testing.T) {
+	base := generate.ErdosRenyi(120, 420, 7)
+	rng := rand.New(rand.NewSource(8))
+	edges := base.EdgeEndpoints()
+	for i := range edges {
+		if rng.Intn(4) == 0 {
+			edges[i].W = float64(100000 + rng.Intn(900000))
+		} else {
+			edges[i].W = float64(1 + rng.Intn(9))
+		}
+	}
+	g := graph.MustBuild(120, edges, graph.BuildOptions{Weighted: true})
+	want := Dijkstra(g, 0)
+	oracle := parentOracle(g, 0, want.Dist)
+	for _, workers := range []int{1, 3} {
+		got := DeltaStepping(g, 0, DeltaSteppingOptions{Delta: 0.5, Workers: workers})
+		for v := range want.Dist {
+			if math.Float64bits(got.Dist[v]) != math.Float64bits(want.Dist[v]) {
+				t.Fatalf("workers=%d: dist[%d] = %g, want %g", workers, v, got.Dist[v], want.Dist[v])
+			}
+			if got.Parent[v] != oracle[v] {
+				t.Fatalf("workers=%d: parent[%d] = %d, want %d", workers, v, got.Parent[v], oracle[v])
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingSteadyStateAllocs pins the zero-allocation claim:
+// once a workspace has run a source on a graph, further single-worker
+// runs on that graph allocate nothing.
+func TestDeltaSteppingSteadyStateAllocs(t *testing.T) {
+	g := reweight(generate.RMAT(1<<10, 1<<13, generate.DefaultRMAT(), 9), uniformW, 31)
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	// Warm the buffers over the same source cycle the measurement uses:
+	// steady state means the per-slot arrays and worker buffers have
+	// grown to the high-water mark of the workload.
+	for s, i := int32(0), 0; i < 12; i++ {
+		ws.Run(g, s, DeltaSteppingOptions{Workers: 1})
+		s = (s + 41) % int32(g.NumVertices())
+	}
+	src := int32(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		ws.Run(g, src, DeltaSteppingOptions{Workers: 1})
+		src = (src + 41) % int32(g.NumVertices())
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Run allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDeltaSteppingUnweightedWorkspace checks the degenerate BFS path
+// through the workspace API, including its sparse reset bookkeeping.
+func TestDeltaSteppingUnweightedWorkspace(t *testing.T) {
+	g := generate.RMAT(400, 1600, generate.DefaultRMAT(), 10)
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	for _, src := range []int32{0, 7, 123, 7} {
+		ws.Run(g, src, DeltaSteppingOptions{})
+		want := Dijkstra(g, src)
+		for v := range want.Dist {
+			if ws.Dist()[v] != want.Dist[v] {
+				t.Fatalf("src %d: dist[%d] = %g, want %g", src, v, ws.Dist()[v], want.Dist[v])
+			}
+		}
+		if ws.Parent()[src] != src {
+			t.Fatalf("src %d: parent[src] = %d", src, ws.Parent()[src])
+		}
+	}
+}

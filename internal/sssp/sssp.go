@@ -1,16 +1,16 @@
 // Package sssp implements single-source shortest paths: a binary-heap
-// Dijkstra reference and the parallel delta-stepping algorithm
-// (Meyer & Sanders) that SNAP uses for weighted small-world graphs,
-// where the low diameter keeps the number of bucket phases small.
+// Dijkstra reference and the lock-free parallel delta-stepping
+// algorithm (Meyer & Sanders) that SNAP uses for weighted small-world
+// graphs, where the low diameter keeps the number of bucket phases
+// small. The delta-stepping engine relaxes edges by CAS-min over
+// atomic float64 bit patterns and recycles a cyclic bucket window —
+// no mutex anywhere on the hot path; see delta.go and DESIGN.md §5e.
 package sssp
 
 import (
 	"math"
-	"sync"
 
-	"snap/internal/frontier"
 	"snap/internal/graph"
-	"snap/internal/par"
 )
 
 // Inf marks unreachable vertices.
@@ -74,163 +74,35 @@ type DeltaSteppingOptions struct {
 	Workers int
 }
 
-// DeltaStepping computes SSSP with the delta-stepping label-correcting
-// algorithm. Vertices are kept in buckets of width delta; each phase
-// relaxes all light edges (w <= delta) of the current bucket in
-// parallel until it stabilizes, then relaxes its heavy edges once.
-// Matches Dijkstra exactly on non-negative weights.
+// DeltaStepping computes SSSP with the lock-free parallel
+// delta-stepping label-correcting algorithm. Vertices are kept in
+// buckets of width delta; each phase relaxes all light edges
+// (w <= delta) of the current bucket in parallel until it stabilizes,
+// then relaxes its heavy edges once. Dist matches Dijkstra
+// bit-identically on non-negative weights for any delta and worker
+// count; Parent follows the deterministic minimum-arc tie-break
+// documented on Workspace.Run.
 //
-// Unweighted graphs skip the bucket machinery entirely: every edge
-// weighs 1, so delta-stepping degenerates to level-synchronous BFS,
-// and the traversal runs through the shared frontier engine (the same
-// queue the initial relaxation would otherwise hand-roll), with
-// direction optimization enabled.
+// This convenience wrapper acquires a pooled Workspace and copies the
+// results out (two allocations). Multi-source loops should hold a
+// Workspace and call Run directly: repeated sources on one graph
+// allocate nothing once warm.
 func DeltaStepping(g *graph.Graph, src int32, opt DeltaSteppingOptions) Result {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = par.Workers()
-	}
-	if g.W == nil {
-		return unweightedBFS(g, src, workers)
-	}
-	delta := opt.Delta
-	if delta <= 0 {
-		delta = defaultDelta(g)
-	}
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.Run(g, src, opt)
 	n := g.NumVertices()
-	dist := make([]float64, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = Inf
-		parent[i] = -1
-	}
-	dist[src] = 0
-	parent[src] = src
-
-	buckets := map[int][]int32{0: {src}}
-	inBucket := make([]int, n)
-	for i := range inBucket {
-		inBucket[i] = -1
-	}
-	inBucket[src] = 0
-	var mu sync.Mutex
-
-	getDist := func(v int32) float64 {
-		mu.Lock()
-		d := dist[v]
-		mu.Unlock()
-		return d
-	}
-	relax := func(u int32, nd float64, from int32) {
-		mu.Lock()
-		if nd < dist[u] {
-			dist[u] = nd
-			parent[u] = from
-			b := int(nd / delta)
-			if inBucket[u] != b {
-				inBucket[u] = b
-				buckets[b] = append(buckets[b], u)
-			}
-		}
-		mu.Unlock()
-	}
-
-	for {
-		// Find the lowest non-empty bucket.
-		cur := -1
-		for b := range buckets {
-			if len(buckets[b]) > 0 && (cur == -1 || b < cur) {
-				cur = b
-			}
-		}
-		if cur == -1 {
-			break
-		}
-		var settled []int32
-		// Light-edge phases: re-process the bucket until it stops
-		// refilling.
-		for len(buckets[cur]) > 0 {
-			batch := buckets[cur]
-			buckets[cur] = nil
-			// Deduplicate and drop stale entries.
-			live := batch[:0]
-			for _, v := range batch {
-				if inBucket[v] == cur {
-					inBucket[v] = -2 // being processed
-					live = append(live, v)
-				}
-			}
-			settled = append(settled, live...)
-			par.ForChunkedN(len(live), workers, func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					v := live[i]
-					dv := getDist(v)
-					alo, ahi := g.Offsets[v], g.Offsets[v+1]
-					for a := alo; a < ahi; a++ {
-						w := arcWeight(g, a)
-						if w > delta {
-							continue
-						}
-						relax(g.Adj[a], dv+w, v)
-					}
-				}
-			})
-		}
-		delete(buckets, cur)
-		// Heavy-edge phase over everything settled in this bucket.
-		par.ForChunkedN(len(settled), workers, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := settled[i]
-				dv := getDist(v)
-				alo, ahi := g.Offsets[v], g.Offsets[v+1]
-				for a := alo; a < ahi; a++ {
-					w := arcWeight(g, a)
-					if w <= delta {
-						continue
-					}
-					relax(g.Adj[a], dv+w, v)
-				}
-			}
-		})
-	}
-	return Result{Dist: dist, Parent: parent}
+	out := Result{Dist: make([]float64, n), Parent: make([]int32, n)}
+	copy(out.Dist, ws.dist)
+	copy(out.Parent, ws.parent)
+	return out
 }
 
-// unweightedBFS is the degenerate delta-stepping case (all weights 1):
-// hop distances from one frontier-engine traversal, converted to the
-// float64 Result convention.
-func unweightedBFS(g *graph.Graph, src int32, workers int) Result {
-	n := g.NumVertices()
-	e := frontier.AcquireEngine(n)
-	defer frontier.ReleaseEngine(e)
-	e.RunOptions(g, src, frontier.Options{
-		Workers:  workers,
-		MaxDepth: -1,
-		Alpha:    frontier.DefaultAlpha,
-	})
-	dist := make([]float64, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = Inf
-		parent[i] = -1
-	}
-	for _, v := range e.Order() {
-		dist[v] = float64(e.Dist(v))
-		parent[v] = e.Parent(v)
-	}
-	return Result{Dist: dist, Parent: parent}
-}
-
-func defaultDelta(g *graph.Graph) float64 {
-	if g.W == nil {
-		return 1
-	}
-	maxW := 0.0
-	for _, w := range g.W {
-		if w > maxW {
-			maxW = w
-		}
-	}
+// defaultDeltaFor is the paper's bucket-width heuristic
+// delta = maxWeight/avgDegree, with the max weight supplied by the
+// caller (computed once per run and shared with the cyclic-window
+// sizing; see Workspace.maxWeight).
+func defaultDeltaFor(g *graph.Graph, maxW float64) float64 {
 	avgDeg := float64(g.NumArcs()) / float64(max(1, g.NumVertices()))
 	if avgDeg < 1 {
 		avgDeg = 1
@@ -240,6 +112,23 @@ func defaultDelta(g *graph.Graph) float64 {
 		d = 1
 	}
 	return d
+}
+
+// DefaultDelta reports the bucket width the heuristic would select for
+// g — an inspection helper for callers that want to scale it; it
+// rescans g.W, unlike the engine, which computes the max weight once
+// per run and caches it per graph.
+func DefaultDelta(g *graph.Graph) float64 {
+	if g.W == nil {
+		return 1
+	}
+	mx := 0.0
+	for _, w := range g.W {
+		if w > mx {
+			mx = w
+		}
+	}
+	return defaultDeltaFor(g, mx)
 }
 
 type distItem struct {

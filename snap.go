@@ -200,10 +200,37 @@ func MST(g *Graph) MSTResult { return components.BoruvkaMST(g, 0) }
 // SSSPResult holds single-source shortest-path distances and parents.
 type SSSPResult = sssp.Result
 
-// ShortestPaths computes SSSP with parallel delta-stepping.
+// ShortestPaths computes SSSP with parallel delta-stepping at the
+// default bucket width and worker count. Use DeltaStepping to tune
+// either, or an SSSPWorkspace for allocation-free multi-source loops.
 func ShortestPaths(g *Graph, src int32) SSSPResult {
 	return sssp.DeltaStepping(g, src, sssp.DeltaSteppingOptions{})
 }
+
+// DeltaSteppingOptions tunes the bucket width (Delta) and parallelism
+// (Workers) of the delta-stepping engine; the zero value selects the
+// maxWeight/avgDegree heuristic and the full worker pool.
+type DeltaSteppingOptions = sssp.DeltaSteppingOptions
+
+// DeltaStepping computes SSSP with the lock-free parallel
+// delta-stepping engine under explicit options. Dist is bit-identical
+// to Dijkstra for any delta and worker count; unweighted graphs
+// degenerate to the direction-optimizing BFS engine.
+func DeltaStepping(g *Graph, src int32, opt DeltaSteppingOptions) SSSPResult {
+	return sssp.DeltaStepping(g, src, opt)
+}
+
+// SSSPWorkspace is the reusable state of the delta-stepping engine:
+// repeated sources on one graph allocate nothing once warm. Not safe
+// for concurrent use; acquire one per goroutine.
+type SSSPWorkspace = sssp.Workspace
+
+// AcquireSSSPWorkspace returns a pooled delta-stepping workspace.
+// Release it with ReleaseSSSPWorkspace when done.
+func AcquireSSSPWorkspace() *SSSPWorkspace { return sssp.AcquireWorkspace() }
+
+// ReleaseSSSPWorkspace returns a workspace to the shared pool.
+func ReleaseSSSPWorkspace(ws *SSSPWorkspace) { sssp.ReleaseWorkspace(ws) }
 
 // Dijkstra computes SSSP with the serial reference algorithm.
 func Dijkstra(g *Graph, src int32) SSSPResult { return sssp.Dijkstra(g, src) }

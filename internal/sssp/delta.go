@@ -417,7 +417,14 @@ func (ws *Workspace) Run(g *graph.Graph, src int32, opt DeltaSteppingOptions) {
 		// Find the lowest non-empty bucket in the window [base, base+k).
 		// Relaxations never produce a bucket below cur, so cur advances
 		// monotonically and the scan never needs to look back; anything
-		// at or past base+k sits in the far list.
+		// at or past base+k sits in the far list. cur is deliberately
+		// NOT advanced past a drained bucket: a heavy-phase relaxation
+		// can round fl(dv+w) back into bucket cur (see
+		// processBucketAllHeavy), and slot cur%k next recurs at bucket
+		// cur+k — outside the window — so skipping it would strand the
+		// entry (hanging the queued count, or dropping the improved
+		// vertex's relaxations as stale). Rescanning from cur re-drains
+		// the slot until it stays empty, in every heavy arm.
 		found := false
 		for b := r.cur; b < r.base+r.k; b++ {
 			if len(ws.slots[b%r.k]) > 0 {
@@ -431,7 +438,6 @@ func (ws *Workspace) Run(g *graph.Graph, src int32, opt DeltaSteppingOptions) {
 			continue
 		}
 		r.processBucket()
-		r.cur++
 	}
 	r.finalize(src)
 	r.g = nil // drop the graph reference while pooled
@@ -749,8 +755,15 @@ func (r *deltaRun) processBucketAllHeavy() {
 	epoch := r.settleEpoch
 	pf := int64(0)
 	for len(ws.slots[s]) > 0 {
+		// Detach the drained batch from the slot storage by swapping in
+		// the live scratch array: the b == cur rounding requeue below
+		// appends back into slot s, and with a shared backing array a
+		// burst of requeues could overwrite entries not yet read. The
+		// two arrays ping-pong across iterations, so steady state still
+		// allocates nothing.
 		entries := ws.slots[s]
-		ws.slots[s] = entries[:0]
+		ws.slots[s] = ws.live[:0]
+		ws.live = entries
 		r.queued -= int64(len(entries))
 		for i, v := range entries {
 			// The loop is latency-bound on the first cache lines of each
@@ -760,7 +773,7 @@ func (r *deltaRun) processBucketAllHeavy() {
 			// eliminated, and the store below publishes it.
 			if i+6 < len(entries) {
 				o := g.Offsets[entries[i+6]]
-				pf += int64(ws.arcAdj[o]) + int64(ws.arcW[o])
+				pf += int64(ws.arcAdj[o]) + int64(math.Float64bits(ws.arcW[o]))
 			}
 			// One stamp covers duplicate entries, entries superseded by
 			// settling in an earlier bucket, and the settle itself.
@@ -816,13 +829,16 @@ func (r *deltaRun) processBucketAllHeavyW32() {
 	epoch := r.settleEpoch
 	pf := int64(0)
 	for len(ws.slots[s]) > 0 {
+		// Detached batch: rounding requeues append to slot s, which must
+		// not alias the batch being read (see processBucketAllHeavy).
 		entries := ws.slots[s]
-		ws.slots[s] = entries[:0]
+		ws.slots[s] = ws.live[:0]
+		ws.live = entries
 		r.queued -= int64(len(entries))
 		for i, v := range entries {
 			if i+6 < len(entries) {
 				o := g.Offsets[entries[i+6]]
-				pf += int64(ws.arcAdj[o]) + int64(ws.arcW32[o])
+				pf += int64(ws.arcAdj[o]) + int64(math.Float32bits(ws.arcW32[o]))
 			}
 			if ws.stampS[v] == epoch {
 				continue

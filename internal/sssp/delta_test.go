@@ -228,3 +228,105 @@ func TestDeltaSteppingUnweightedWorkspace(t *testing.T) {
 		}
 	}
 }
+
+// Rounding triple for the re-entry regressions below, found by search:
+// w1 sits in bucket 5 of delta, w2 is heavy (w2 > delta), yet
+// fl(w1+w2) floors back into bucket 5 — the float edge where a
+// heavy-phase relaxation re-enters the bucket being processed. Typed
+// variables, not constants: the scenario depends on float64 rounding
+// at every step, and untyped constant arithmetic would evaluate the
+// guard's sum in arbitrary precision instead. Each test re-verifies
+// the properties so a value drift cannot silently void the scenario.
+var (
+	reentryDelta = float64(0.7680370929490794)
+	reentryW1    = float64(3.840185464745397)
+	reentryW2    = float64(0.7680370929490795)
+)
+
+func requireReentryTriple(t *testing.T) {
+	t.Helper()
+	if bucketOf(reentryW1, reentryDelta) != 5 {
+		t.Fatal("reentryW1 drifted out of bucket 5")
+	}
+	if reentryW2 <= reentryDelta {
+		t.Fatal("reentryW2 is no longer heavy")
+	}
+	if bucketOf(reentryW1+reentryW2, reentryDelta) != 5 {
+		t.Fatal("fl(reentryW1+reentryW2) no longer re-enters bucket 5")
+	}
+}
+
+// TestDeltaSteppingHeavyRoundingReentry pins the general-path handling
+// of a heavy relaxation that rounds back into the current bucket:
+// after bucket 5's heavy phase queues vertex 2 into slot 5, the run
+// must re-drain that slot before advancing (slot 5 next recurs at
+// bucket 5+k, outside the window), or 2's onward relaxations are lost
+// and vertex 3 comes out unreached. The light 2-3 arc keeps the run
+// off the fused all-heavy drain, and the far arc 0-4 overflows the
+// capped window so a regression surfaces as a wrong answer rather
+// than a livelock on a non-empty queue.
+func TestDeltaSteppingHeavyRoundingReentry(t *testing.T) {
+	requireReentryTriple(t)
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: reentryW1},
+		{U: 1, V: 2, W: reentryW2},
+		{U: 2, V: 3, W: 0.5},
+		{U: 0, V: 4, W: reentryDelta * 20000}, // past maxSlots buckets: far list
+	}
+	for _, directed := range []bool{true, false} {
+		g := graph.MustBuild(5, edges, graph.BuildOptions{Directed: directed, Weighted: true})
+		want := Dijkstra(g, 0)
+		if math.IsInf(want.Dist[3], 1) {
+			t.Fatal("scenario lost its path to vertex 3")
+		}
+		oracle := parentOracle(g, 0, want.Dist)
+		for _, workers := range []int{1, 2, 3} {
+			got := DeltaStepping(g, 0, DeltaSteppingOptions{Delta: reentryDelta, Workers: workers})
+			for v := range want.Dist {
+				if math.Float64bits(got.Dist[v]) != math.Float64bits(want.Dist[v]) {
+					t.Fatalf("directed=%v workers=%d: dist[%d] = %g, want %g",
+						directed, workers, v, got.Dist[v], want.Dist[v])
+				}
+				if got.Parent[v] != oracle[v] {
+					t.Fatalf("directed=%v workers=%d: parent[%d] = %d, want %d",
+						directed, workers, v, got.Parent[v], oracle[v])
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingAllHeavyReentryAliasing pins the fused all-heavy
+// drain against requeues outpacing the batch scan: bucket 5's batch is
+// [1, 2], and draining vertex 1 rounds two heavy relaxations (to 3 and
+// 4) back into bucket 5. If the drained batch still shares storage
+// with slot 5, the second requeue overwrites the unread entry for
+// vertex 2, which then never settles — no parent, and its pendant
+// neighbor 6 never reached. Every arc is heavy, the graph undirected,
+// and workers is 1, which is exactly the processBucketAllHeavy shape.
+func TestDeltaSteppingAllHeavyReentryAliasing(t *testing.T) {
+	requireReentryTriple(t)
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: reentryW1},
+		{U: 0, V: 2, W: reentryW1},
+		{U: 1, V: 3, W: reentryW2},
+		{U: 1, V: 4, W: reentryW2},
+		{U: 2, V: 6, W: reentryW1},
+		{U: 0, V: 5, W: reentryDelta * 20000}, // far list: regression fails loud, not livelocked
+	}
+	g := graph.MustBuild(7, edges, graph.BuildOptions{Weighted: true})
+	want := Dijkstra(g, 0)
+	if math.IsInf(want.Dist[6], 1) {
+		t.Fatal("scenario lost its path to vertex 6")
+	}
+	oracle := parentOracle(g, 0, want.Dist)
+	got := DeltaStepping(g, 0, DeltaSteppingOptions{Delta: reentryDelta, Workers: 1})
+	for v := range want.Dist {
+		if math.Float64bits(got.Dist[v]) != math.Float64bits(want.Dist[v]) {
+			t.Fatalf("dist[%d] = %g, want %g", v, got.Dist[v], want.Dist[v])
+		}
+		if got.Parent[v] != oracle[v] {
+			t.Fatalf("parent[%d] = %d, want %d", v, got.Parent[v], oracle[v])
+		}
+	}
+}

@@ -109,7 +109,7 @@ func main() {
 	}
 	if want("louvain") {
 		run("louv", func() (community.Clustering, *community.Dendrogram) {
-			return community.Louvain(g, 0, *seed), nil
+			return community.Louvain(g, community.LouvainOptions{Workers: *workers, Seed: *seed}), nil
 		})
 	}
 	if want("lpa") {

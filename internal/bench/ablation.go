@@ -120,7 +120,7 @@ func Ablations(cfg Config) {
 			return community.PLA(ge, community.PLAOptions{Seed: cfg.Seed})
 		}},
 		{"Louvain (2008 baseline)", func() community.Clustering {
-			return community.Louvain(ge, 0, cfg.Seed)
+			return community.Louvain(ge, community.LouvainOptions{Seed: cfg.Seed})
 		}},
 		{"leading-eigenvector", func() community.Clustering {
 			return community.SpectralCommunities(ge, community.SpectralOptions{Seed: cfg.Seed, Refine: true})

@@ -168,18 +168,27 @@ func (st *CommunityStats) Q() float64 {
 	return q
 }
 
-// densify renumbers arbitrary community labels to [0, Count) and
-// computes Q.
+var relabelPool = par.NewPool(func() *relabeler { return &relabeler{} })
+
+// densify renumbers arbitrary community labels to [0, Count) in
+// first-seen order and computes Q. The renumbering runs through a
+// pooled epoch-stamped relabeler — two array probes per vertex instead
+// of a map insert.
 func densify(g *graph.Graph, assign []int32, workers int) Clustering {
-	remap := make(map[int32]int32, 64)
 	out := make([]int32, len(assign))
-	for v, l := range assign {
-		id, ok := remap[l]
-		if !ok {
-			id = int32(len(remap))
-			remap[l] = id
+	maxID := int32(-1)
+	for _, l := range assign {
+		if l > maxID {
+			maxID = l
 		}
-		out[v] = id
 	}
-	return Clustering{Assign: out, Count: len(remap), Q: Modularity(g, out, workers)}
+	r := relabelPool.Get()
+	r.ensure(int(maxID) + 1)
+	r.begin()
+	for v, l := range assign {
+		out[v] = r.id(l)
+	}
+	count := int(r.next)
+	relabelPool.Put(r)
+	return Clustering{Assign: out, Count: count, Q: Modularity(g, out, workers)}
 }

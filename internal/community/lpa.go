@@ -31,7 +31,11 @@ func LabelPropagation(g *graph.Graph, maxPasses int, seed int64) Clustering {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	counts := map[int32]int{}
+	// Neighbor-label counting through the dense epoch-stamped scatter:
+	// O(deg) per vertex with an O(1) reset, no map churn.
+	counts := &moveScatter{}
+	counts.ensure(n)
+	var top []int32
 	for pass := 0; pass < maxPasses; pass++ {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		changes := 0
@@ -40,21 +44,21 @@ func LabelPropagation(g *graph.Graph, maxPasses int, seed int64) Clustering {
 			if len(adj) == 0 {
 				continue
 			}
-			for k := range counts {
-				delete(counts, k)
-			}
-			best := 0
+			counts.begin()
+			best := 0.0
 			for _, u := range adj {
 				l := assign[u]
-				counts[l]++
-				if counts[l] > best {
-					best = counts[l]
+				counts.add(l, 1)
+				if counts.wsum[l] > best {
+					best = counts.wsum[l]
 				}
 			}
-			// Collect the argmax labels and break ties reproducibly.
-			var top []int32
-			for l, c := range counts {
-				if c == best {
+			// Collect the argmax labels and break ties reproducibly
+			// (sorted, as the map-based version did, so a fixed seed
+			// draws the same label).
+			top = top[:0]
+			for _, l := range counts.touched {
+				if counts.wsum[l] == best {
 					top = append(top, l)
 				}
 			}

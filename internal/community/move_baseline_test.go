@@ -1,0 +1,189 @@
+package community
+
+import (
+	"math/rand"
+
+	"snap/internal/graph"
+)
+
+// This file preserves the seed's map-based Louvain and Refine engines,
+// verbatim apart from the names, as the "before" comparators of the
+// BenchmarkLouvain*/BenchmarkRefine* tables in EXPERIMENTS.md and of
+// the engine-equivalence quality tests. They are test-only: production
+// code routes through the batch-synchronous scatter engine in move.go.
+
+// louvainMapBaseline is the seed's Louvain: quotient levels built with
+// graph.Build and local moving over a map[int32]float64 of neighbor
+// community weights.
+func louvainMapBaseline(g *graph.Graph, maxLevels int, seed int64) Clustering {
+	if maxLevels <= 0 {
+		maxLevels = 16
+	}
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return Singletons(g)
+	}
+	// mapping[v] = community of original vertex v in the current level.
+	mapping := identity(n)
+	level := MakeQuotient(g, mapping, n)
+	for lv := 0; lv < maxLevels; lv++ {
+		qa, qc, improved := weightedLocalMoveMap(level, seed+int64(lv))
+		if !improved {
+			break
+		}
+		for v := 0; v < n; v++ {
+			mapping[v] = qa[mapping[v]]
+		}
+		level = contractQuotient(level, qa, qc)
+		if level.Graph.NumVertices() <= 1 {
+			break
+		}
+	}
+	return densify(g, mapping, 0)
+}
+
+// weightedLocalMoveMap runs modularity local moving on a weighted
+// quotient graph whose vertices carry intra-community self-weights.
+// Returns the new (dense) assignment, community count, and whether any
+// move improved modularity.
+func weightedLocalMoveMap(q Quotient, seed int64) ([]int32, int, bool) {
+	qg := q.Graph
+	nq := qg.NumVertices()
+	// Total edge weight of the ORIGINAL graph: sum intra + inter.
+	var m float64
+	for _, w := range q.Intra {
+		m += float64(w)
+	}
+	m += qg.TotalWeight()
+	if m == 0 {
+		return identity(nq), nq, false
+	}
+	assign := identity(nq)
+	// Community degree sums start as the quotient vertices' own.
+	degsum := make([]float64, nq)
+	for c := 0; c < nq; c++ {
+		degsum[c] = float64(q.DegSum[c])
+	}
+	improvedAny := false
+	rngState := moveSeed(seed)
+	order := make([]int32, nq)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	linksTo := map[int32]float64{}
+	for pass := 0; pass < 16; pass++ {
+		// Deterministic pseudo-shuffle.
+		for i := nq - 1; i > 0; i-- {
+			rngState = rngState*6364136223846793005 + 1442695040888963407
+			j := int(rngState % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		moves := 0
+		for _, v := range order {
+			cv := assign[v]
+			kv := float64(q.DegSum[v])
+			for k := range linksTo {
+				delete(linksTo, k)
+			}
+			lo, hi := qg.Offsets[v], qg.Offsets[v+1]
+			for a := lo; a < hi; a++ {
+				linksTo[assign[qg.Adj[a]]] += qg.W[a]
+			}
+			lcv := linksTo[cv]
+			bestD := cv
+			bestGain := 0.0
+			for d, ld := range linksTo {
+				if d == cv {
+					continue
+				}
+				gain := (ld-lcv)/m - kv*(degsum[d]-(degsum[cv]-kv))/(2*m*m)
+				if gain > bestGain || (gain == bestGain && gain > 0 && d < bestD) {
+					bestGain = gain
+					bestD = d
+				}
+			}
+			if bestD != cv && bestGain > 0 {
+				degsum[cv] -= kv
+				degsum[bestD] += kv
+				assign[v] = bestD
+				moves++
+				improvedAny = true
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	// Densify ids.
+	remap := map[int32]int32{}
+	for v, c := range assign {
+		if _, ok := remap[c]; !ok {
+			remap[c] = int32(len(remap))
+		}
+		assign[v] = remap[c]
+	}
+	return assign, len(remap), improvedAny
+}
+
+// refineMapBaseline is the seed's Refine: sequential greedy moves with
+// a rand.Shuffle visit order and a map-based neighbor gather.
+func refineMapBaseline(g *graph.Graph, c Clustering, maxPasses int, seed int64) Clustering {
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return c
+	}
+	st := newMoveState(g, c)
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	linksTo := map[int32]float64{}
+	for pass := 0; pass < maxPasses; pass++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		moves := 0
+		for _, v := range order {
+			cv := st.assign[v]
+			for k := range linksTo {
+				delete(linksTo, k)
+			}
+			for _, u := range st.g.Neighbors(v) {
+				linksTo[st.assign[u]]++
+			}
+			lcv := linksTo[cv]
+			bestD := cv
+			bestGain := 0.0
+			detach := false
+			for d, ld := range linksTo {
+				if d == cv {
+					continue
+				}
+				if gn := st.gain(v, d, ld, lcv); gn > bestGain || (gn == bestGain && gn > 0 && d < bestD) {
+					bestGain = gn
+					bestD = d
+					detach = false
+				}
+			}
+			if gn := st.detachGain(v, lcv); gn > bestGain {
+				bestGain = gn
+				detach = true
+			}
+			if bestGain <= 0 {
+				continue
+			}
+			if detach {
+				st.apply(v, st.freshCommunity())
+			} else {
+				st.apply(v, bestD)
+			}
+			moves++
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	return densify(g, st.assign, 0)
+}

@@ -1,0 +1,144 @@
+package community
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"snap/internal/datasets"
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+// moveBenchScale returns the RMAT scale for the community benchmarks:
+// SNAP_BENCH_SCALE when set, else 14 under -short (CI smoke) and 18
+// for a full run (the EXPERIMENTS.md numbers).
+func moveBenchScale(tb testing.TB) int {
+	if s := os.Getenv("SNAP_BENCH_SCALE"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			tb.Fatalf("bad SNAP_BENCH_SCALE %q: %v", s, err)
+		}
+		return v
+	}
+	if testing.Short() {
+		return 14
+	}
+	return 18
+}
+
+func communityRMAT(scale int) *graph.Graph {
+	n := 1 << scale
+	return generate.RMAT(n, 8*n, generate.DefaultRMAT(), 1)
+}
+
+func BenchmarkLouvainRMAT(b *testing.B) {
+	g := communityRMAT(moveBenchScale(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Louvain(g, LouvainOptions{Seed: 1})
+	}
+}
+
+// BenchmarkLouvainRMATMapBaseline is the seed implementation (map
+// gathers, graph.Build contraction) — the "before" row of the
+// EXPERIMENTS.md table.
+func BenchmarkLouvainRMATMapBaseline(b *testing.B) {
+	g := communityRMAT(moveBenchScale(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		louvainMapBaseline(g, 0, 1)
+	}
+}
+
+func BenchmarkRefineRMAT(b *testing.B) {
+	g := communityRMAT(moveBenchScale(b))
+	start := Singletons(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refine(g, start, 4, 1)
+	}
+}
+
+func BenchmarkRefineRMATMapBaseline(b *testing.B) {
+	g := communityRMAT(moveBenchScale(b))
+	start := Singletons(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refineMapBaseline(g, start, 4, 1)
+	}
+}
+
+func BenchmarkPLARMAT(b *testing.B) {
+	g := communityRMAT(moveBenchScale(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PLA(g, PLAOptions{Seed: 1})
+	}
+}
+
+func BenchmarkLouvainKarate(b *testing.B) {
+	g := datasets.Karate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Louvain(g, LouvainOptions{Seed: 1})
+	}
+}
+
+func BenchmarkRefineKarate(b *testing.B) {
+	g := datasets.Karate()
+	start := Singletons(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refine(g, start, 16, 1)
+	}
+}
+
+// The warm-workspace benchmarks hold a MoveWorkspace across
+// iterations; with -benchmem they certify the zero-allocs-steady-state
+// acceptance criterion.
+func BenchmarkLouvainWorkspaceKarate(b *testing.B) {
+	g := datasets.Karate()
+	ws := AcquireMoveWorkspace()
+	defer ReleaseMoveWorkspace(ws)
+	opt := LouvainOptions{Workers: 1, Seed: 1}
+	ws.Louvain(g, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Louvain(g, opt)
+	}
+}
+
+func BenchmarkRefineWorkspaceKarate(b *testing.B) {
+	g := datasets.Karate()
+	start := Singletons(g)
+	ws := AcquireMoveWorkspace()
+	defer ReleaseMoveWorkspace(ws)
+	ws.Refine(g, start, 16, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Refine(g, start, 16, 1, 1)
+	}
+}
+
+func BenchmarkLouvainWorkspaceRMAT(b *testing.B) {
+	g := communityRMAT(moveBenchScale(b))
+	ws := AcquireMoveWorkspace()
+	defer ReleaseMoveWorkspace(ws)
+	opt := LouvainOptions{Workers: 1, Seed: 1}
+	ws.Louvain(g, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Louvain(g, opt)
+	}
+}

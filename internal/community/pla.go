@@ -70,22 +70,10 @@ func PLA(g *graph.Graph, opt PLAOptions) Clustering {
 	lab := components.Connected(g, alive)
 	comps := lab.Members()
 
-	st := &plaState{
-		g:      g,
-		m:      float64(mEdges),
-		assign: make([]int32, n),
-		degsum: make([]int64, n),
-		member: make([][]int32, n),
-		// During the concurrent per-component phase, bridge arcs are
-		// masked so no worker ever reads another component's state
-		// (bridges are exactly the arcs that cross components here).
-		skipEdge: bc.Bridge,
-	}
-	for v := 0; v < n; v++ {
-		st.assign[v] = int32(v)
-		st.degsum[v] = int64(g.Degree(int32(v)))
-		st.member[v] = []int32{int32(v)}
-	}
+	// During the concurrent per-component phase, bridge arcs are
+	// masked so no worker ever reads another component's state
+	// (bridges are exactly the arcs that cross components here).
+	st := newPLAState(g, bc.Bridge)
 
 	// Precompute the local metric scores once.
 	var metric []float64
@@ -99,8 +87,9 @@ func PLA(g *graph.Graph, opt PLAOptions) Clustering {
 	}
 
 	// Step 3: aggregate each component concurrently. Components own
-	// disjoint vertex (and hence cluster-id) ranges, so no locking is
-	// needed across them.
+	// disjoint vertex (and hence cluster-id) ranges, and the contact
+	// rows exclude the masked bridges, so no locking is needed across
+	// them.
 	par.ForGuidedN(len(comps), 1, workers, func(ci int) {
 		comp := comps[ci]
 		if len(comp) < 2 {
@@ -110,10 +99,23 @@ func PLA(g *graph.Graph, opt PLAOptions) Clustering {
 		st.aggregate(comp, metric, opt.MaxPasses, rng)
 	})
 
-	// Top-level amalgamation (serial): bridges are visible again, and
-	// cluster pairs across them merge whenever modularity improves.
+	// Top-level amalgamation (serial): the bridge edges become visible
+	// — each one's unit weight joins the contact rows of the cluster
+	// pair it connects — and cluster pairs across them merge whenever
+	// modularity improves.
 	st.skipEdge = nil
-	for eid, e := range g.EdgeEndpoints() {
+	ends := g.EdgeEndpoints()
+	for eid, e := range ends {
+		if !bc.Bridge[eid] {
+			continue
+		}
+		cu, cv := st.assign[e.U], st.assign[e.V]
+		if cu != cv {
+			st.rowID[cu], st.rowW[cu] = rowAdd(st.rowID[cu], st.rowW[cu], cv, 1)
+			st.rowID[cv], st.rowW[cv] = rowAdd(st.rowID[cv], st.rowW[cv], cu, 1)
+		}
+	}
+	for eid, e := range ends {
 		if !bc.Bridge[eid] {
 			continue
 		}
@@ -153,23 +155,162 @@ func sortCandsByScore(cands []plaCand) {
 	})
 }
 
+// plaScratch is the pooled per-aggregation scratch for gathering a
+// seed vertex's adjacent-cluster candidates: an epoch-stamped position
+// index replaces the per-seed map[int32]int, and the candidate slice
+// is reused across seeds.
+type plaScratch struct {
+	pos   []int32
+	stamp []uint32
+	epoch uint32
+	cands []plaCand
+}
+
+var plaScratchPool = par.NewPool(func() *plaScratch { return &plaScratch{} })
+
+func (s *plaScratch) ensure(k int) {
+	if len(s.stamp) >= k {
+		return
+	}
+	s.pos = make([]int32, k)
+	s.stamp = make([]uint32, k)
+	s.epoch = 0
+}
+
+func (s *plaScratch) begin() {
+	s.cands = s.cands[:0]
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
 // plaState is the shared cluster accounting for pLA. Cluster ids live
-// in vertex-id space; degsum/member are indexed by cluster id.
+// in vertex-id space; degsum/member/rows are indexed by cluster id.
+//
+// rowID[c]/rowW[c] are the cluster's CONTACT ROW: the sorted ids of
+// its neighboring clusters and the live count of unmasked edges to
+// each. The rows are the incremental replacement for the seed
+// implementation's member-list rescans — tryMerge reads `between` with
+// one binary search, and a merge folds the smaller row into the larger
+// with a two-pointer union (the pMA dynamic-row idiom) plus a fix-up
+// of each affected neighbor's row.
 type plaState struct {
 	g      *graph.Graph
 	m      float64
 	assign []int32
 	degsum []int64
 	member [][]int32
+	rowID  [][]int32
+	rowW   [][]int32
 	// skipEdge masks arcs (by edge id) that must not be scanned; nil
 	// means every arc is visible.
 	skipEdge []bool
+}
+
+// newPLAState builds the singleton-cluster state with contact rows
+// over the unmasked arcs. Initial rows slice one shared arena (CSR
+// adjacency is sorted, so each vertex's row is a run-length fold of
+// its arc list).
+func newPLAState(g *graph.Graph, skipEdge []bool) *plaState {
+	n := g.NumVertices()
+	st := &plaState{
+		g:        g,
+		m:        float64(g.NumEdges()),
+		assign:   make([]int32, n),
+		degsum:   make([]int64, n),
+		member:   make([][]int32, n),
+		rowID:    make([][]int32, n),
+		rowW:     make([][]int32, n),
+		skipEdge: skipEdge,
+	}
+	arenaID := make([]int32, 0, g.NumArcs())
+	arenaW := make([]int32, 0, g.NumArcs())
+	for v := 0; v < n; v++ {
+		st.assign[v] = int32(v)
+		st.degsum[v] = int64(g.Degree(int32(v)))
+		st.member[v] = []int32{int32(v)}
+		start := len(arenaID)
+		adj := g.Neighbors(int32(v))
+		eids := g.EdgeIDs(int32(v))
+		for ai, u := range adj {
+			if skipEdge != nil && skipEdge[eids[ai]] {
+				continue
+			}
+			if last := len(arenaID) - 1; last >= start && arenaID[last] == u {
+				arenaW[last]++
+				continue
+			}
+			arenaID = append(arenaID, u)
+			arenaW = append(arenaW, 1)
+		}
+		st.rowID[v] = arenaID[start:len(arenaID):len(arenaID)]
+		st.rowW[v] = arenaW[start:len(arenaW):len(arenaW)]
+	}
+	return st
+}
+
+// rowFind returns the index of x in the sorted ids, or -1.
+func rowFind(ids []int32, x int32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == x {
+		return lo
+	}
+	return -1
+}
+
+// rowAdd accumulates weight w onto entry x, inserting it in sorted
+// position when absent.
+func rowAdd(ids []int32, wts []int32, x int32, w int32) ([]int32, []int32) {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == x {
+		wts[lo] += w
+		return ids, wts
+	}
+	ids = append(ids, 0)
+	wts = append(wts, 0)
+	copy(ids[lo+1:], ids[lo:])
+	copy(wts[lo+1:], wts[lo:])
+	ids[lo] = x
+	wts[lo] = w
+	return ids, wts
+}
+
+// rowRemove deletes entry x, returning its weight (0 if absent).
+func rowRemove(ids []int32, wts []int32, x int32) ([]int32, []int32, int32) {
+	i := rowFind(ids, x)
+	if i < 0 {
+		return ids, wts, 0
+	}
+	w := wts[i]
+	copy(ids[i:], ids[i+1:])
+	copy(wts[i:], wts[i+1:])
+	return ids[:len(ids)-1], wts[:len(wts)-1], w
 }
 
 // aggregate runs random-seed greedy aggregation passes over one
 // component until a pass makes no merge or the pass budget is spent.
 func (st *plaState) aggregate(comp []int32, metric []float64, maxPasses int, rng *rand.Rand) {
 	order := append([]int32(nil), comp...)
+	sc := plaScratchPool.Get()
+	sc.ensure(st.g.NumVertices())
 	for pass := 0; pass < maxPasses; pass++ {
 		rng.Shuffle(len(order), func(i, j int) {
 			order[i], order[j] = order[j], order[i]
@@ -181,8 +322,7 @@ func (st *plaState) aggregate(comp []int32, metric []float64, maxPasses int, rng
 			// vertex, and greedily attempt merges in that order until
 			// one passes the modularity test (steps 7–8).
 			cv := st.assign[v]
-			var cands []plaCand
-			seen := map[int32]int{}
+			sc.begin()
 			adj := st.g.Neighbors(v)
 			eids := st.g.EdgeIDs(v)
 			for ai, u := range adj {
@@ -193,26 +333,28 @@ func (st *plaState) aggregate(comp []int32, metric []float64, maxPasses int, rng
 				if cu == cv {
 					continue
 				}
-				if i, ok := seen[cu]; ok {
-					cands[i].contacts++
-					if metric[u] > cands[i].score {
-						cands[i].score = metric[u]
+				if sc.stamp[cu] == sc.epoch {
+					c := &sc.cands[sc.pos[cu]]
+					c.contacts++
+					if metric[u] > c.score {
+						c.score = metric[u]
 					}
 					continue
 				}
-				seen[cu] = len(cands)
-				cands = append(cands, plaCand{cluster: cu, contacts: 1, score: metric[u]})
+				sc.stamp[cu] = sc.epoch
+				sc.pos[cu] = int32(len(sc.cands))
+				sc.cands = append(sc.cands, plaCand{cluster: cu, contacts: 1, score: metric[u]})
 			}
-			if len(cands) == 0 {
+			if len(sc.cands) == 0 {
 				continue
 			}
-			sortCandsByScore(cands)
-			tries := len(cands)
+			sortCandsByScore(sc.cands)
+			tries := len(sc.cands)
 			if tries > 4 {
 				tries = 4
 			}
 			for i := 0; i < tries; i++ {
-				if st.tryMerge(cv, cands[i].cluster) {
+				if st.tryMerge(cv, sc.cands[i].cluster) {
 					merges++
 					break
 				}
@@ -222,50 +364,89 @@ func (st *plaState) aggregate(comp []int32, metric []float64, maxPasses int, rng
 			break
 		}
 	}
+	plaScratchPool.Put(sc)
 }
 
 // tryMerge merges clusters c and d when the modularity delta
-// m_cd/m − 2 a_c a_d is positive, reporting whether it merged.
+// m_cd/m − 2 a_c a_d is positive, reporting whether it merged. The
+// inter-cluster edge count comes straight from the maintained contact
+// rows — one binary search instead of the seed engine's rescan of the
+// smaller member list.
 func (st *plaState) tryMerge(c, d int32) bool {
 	if c == d {
 		return false
 	}
-	// Count edges between c and d by scanning the smaller side.
 	small, other := c, d
 	if len(st.member[small]) > len(st.member[other]) {
 		small, other = other, small
 	}
 	var between int64
-	for _, v := range st.member[small] {
-		adj := st.g.Neighbors(v)
-		eids := st.g.EdgeIDs(v)
-		for ai, u := range adj {
-			if st.skipEdge != nil && st.skipEdge[eids[ai]] {
-				continue
-			}
-			if st.assign[u] == other {
-				between++
-			}
-		}
+	if i := rowFind(st.rowID[small], other); i >= 0 {
+		between = int64(st.rowW[small][i])
 	}
 	twoM := 2 * st.m
 	dq := float64(between)/st.m - 2*(float64(st.degsum[c])/twoM)*(float64(st.degsum[d])/twoM)
 	if dq <= 0 {
 		return false
 	}
-	// Fold small into other.
-	for _, v := range st.member[small] {
-		st.assign[v] = other
-	}
-	st.member[other] = append(st.member[other], st.member[small]...)
-	st.member[small] = nil
-	st.degsum[other] += st.degsum[small]
-	st.degsum[small] = 0
+	st.fold(small, other)
 	return true
 }
 
-// localClusteringScores computes local clustering coefficients without
-// importing the metrics package (which would be an upward dependency).
+// fold merges cluster s into cluster o: members, degree sums, and the
+// contact rows. Every neighbor e of s re-points its s entry at o, and
+// the surviving row of o is the sorted two-pointer union of both rows
+// with the mutual pair (now intra) dropped.
+func (st *plaState) fold(s, o int32) {
+	sID, sW := st.rowID[s], st.rowW[s]
+	for _, e := range sID {
+		if e == o {
+			continue
+		}
+		var w int32
+		st.rowID[e], st.rowW[e], w = rowRemove(st.rowID[e], st.rowW[e], s)
+		st.rowID[e], st.rowW[e] = rowAdd(st.rowID[e], st.rowW[e], o, w)
+	}
+	oID, oW := st.rowID[o], st.rowW[o]
+	mergedID := make([]int32, 0, len(oID)+len(sID))
+	mergedW := make([]int32, 0, len(oID)+len(sID))
+	i, j := 0, 0
+	for i < len(oID) || j < len(sID) {
+		switch {
+		case j == len(sID) || (i < len(oID) && oID[i] < sID[j]):
+			if oID[i] != s {
+				mergedID = append(mergedID, oID[i])
+				mergedW = append(mergedW, oW[i])
+			}
+			i++
+		case i == len(oID) || sID[j] < oID[i]:
+			if sID[j] != o {
+				mergedID = append(mergedID, sID[j])
+				mergedW = append(mergedW, sW[j])
+			}
+			j++
+		default: // common neighbor
+			mergedID = append(mergedID, oID[i])
+			mergedW = append(mergedW, oW[i]+sW[j])
+			i++
+			j++
+		}
+	}
+	st.rowID[o], st.rowW[o] = mergedID, mergedW
+	st.rowID[s], st.rowW[s] = nil, nil
+
+	for _, v := range st.member[s] {
+		st.assign[v] = o
+	}
+	st.member[o] = append(st.member[o], st.member[s]...)
+	st.member[s] = nil
+	st.degsum[o] += st.degsum[s]
+	st.degsum[s] = 0
+}
+
+// localClusteringScores computes local clustering coefficients on the
+// shared sorted-adjacency intersection kernel (metrics uses the same
+// one; importing metrics here would be an upward dependency).
 func localClusteringScores(g *graph.Graph, workers int) []float64 {
 	n := g.NumVertices()
 	out := make([]float64, n)
@@ -278,26 +459,9 @@ func localClusteringScores(g *graph.Graph, workers int) []float64 {
 		}
 		links := 0
 		for i := 0; i < d; i++ {
-			links += sortedCommon(g.Neighbors(adj[i]), adj[i+1:])
+			links += graph.SortedIntersectCount(g.Neighbors(adj[i]), adj[i+1:])
 		}
 		out[vi] = 2 * float64(links) / (float64(d) * float64(d-1))
 	})
 	return out
-}
-
-func sortedCommon(a, b []int32) int {
-	i, j, c := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			c++
-			i++
-			j++
-		}
-	}
-	return c
 }

@@ -2,6 +2,7 @@ package community
 
 import (
 	"snap/internal/graph"
+	"snap/internal/par"
 )
 
 // Quotient contracts a clustering into its community graph: one vertex
@@ -22,29 +23,76 @@ type Quotient struct {
 }
 
 // MakeQuotient builds the quotient of g under assign with dense
-// community ids in [0, count).
+// community ids in [0, count). The O(n) vertex scan and O(m) edge walk
+// both run across par.Workers() goroutines with per-worker histograms
+// and edge buffers, merged in worker order so the result is identical
+// to a serial scan.
 func MakeQuotient(g *graph.Graph, assign []int32, count int) Quotient {
+	workers := par.Workers()
 	q := Quotient{
 		Intra:  make([]int64, count),
 		Size:   make([]int64, count),
 		DegSum: make([]int64, count),
 	}
-	for v := 0; v < g.NumVertices(); v++ {
-		c := assign[v]
-		q.Size[c]++
-		q.DegSum[c] += int64(g.Degree(int32(v)))
-	}
-	edges := make([]graph.Edge, 0, g.NumEdges())
-	for _, e := range g.EdgeEndpoints() {
-		ca, cb := assign[e.U], assign[e.V]
-		if ca == cb {
-			q.Intra[ca]++
-			continue
+	n := g.NumVertices()
+	sizeW := make([][]int64, workers)
+	degW := make([][]int64, workers)
+	par.ForChunkedN(n, workers, func(w, lo, hi int) {
+		ls := make([]int64, count)
+		ld := make([]int64, count)
+		for v := lo; v < hi; v++ {
+			c := assign[v]
+			ls[c]++
+			ld[c] += g.Offsets[v+1] - g.Offsets[v]
 		}
-		edges = append(edges, graph.Edge{U: ca, V: cb, W: 1})
-	}
-	q.Graph = aggregateQuotient(count, edges, "quotient")
+		sizeW[w] = ls
+		degW[w] = ld
+	})
+	reduceHistograms(q.Size, sizeW)
+	reduceHistograms(q.DegSum, degW)
+	all := g.EdgeEndpoints()
+	intraW := make([][]int64, workers)
+	edgesW := make([][]graph.Edge, workers)
+	par.ForChunkedN(len(all), workers, func(w, lo, hi int) {
+		li := make([]int64, count)
+		le := make([]graph.Edge, 0, hi-lo)
+		for _, e := range all[lo:hi] {
+			ca, cb := assign[e.U], assign[e.V]
+			if ca == cb {
+				li[ca]++
+				continue
+			}
+			le = append(le, graph.Edge{U: ca, V: cb, W: 1})
+		}
+		intraW[w] = li
+		edgesW[w] = le
+	})
+	reduceHistograms(q.Intra, intraW)
+	q.Graph = aggregateQuotient(count, concatEdges(edgesW), "quotient")
 	return q
+}
+
+// reduceHistograms folds per-worker histograms into dst (nil entries
+// come from workers the loop clamp never started).
+func reduceHistograms(dst []int64, parts [][]int64) {
+	for _, p := range parts {
+		for i, v := range p {
+			dst[i] += v
+		}
+	}
+}
+
+// concatEdges joins per-worker edge buffers in worker order.
+func concatEdges(parts [][]graph.Edge) []graph.Edge {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]graph.Edge, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // aggregateQuotient collapses raw inter-community edge observations
@@ -61,147 +109,89 @@ func aggregateQuotient(count int, edges []graph.Edge, what string) *graph.Graph 
 	return qg
 }
 
+// LouvainOptions configures the multilevel local-moving heuristic.
+type LouvainOptions struct {
+	// Workers bounds parallelism; <= 0 means par.Workers(). For a
+	// fixed Seed the partition is identical for EVERY worker count —
+	// see the batch-synchronous engine in move.go.
+	Workers int
+	// MaxLevels caps the contraction hierarchy depth. 0 => 16.
+	MaxLevels int
+	// Seed drives the deterministic vertex-order pseudo-shuffle.
+	Seed int64
+}
+
 // Louvain is the multilevel local-moving heuristic (Blondel et al.
 // 2008) — published the same year as the paper and since become the
 // standard fast modularity baseline; it is included for comparison
-// with pBD/pMA/pLA. Each level runs local moving to convergence on the
-// (weighted) quotient, then contracts communities and recurses.
-func Louvain(g *graph.Graph, maxLevels int, seed int64) Clustering {
-	if maxLevels <= 0 {
-		maxLevels = 16
-	}
-	n := g.NumVertices()
-	if n == 0 || g.NumEdges() == 0 {
-		return Singletons(g)
-	}
-	// mapping[v] = community of original vertex v in the current level.
-	mapping := identity(n)
-	level := MakeQuotient(g, mapping, n)
-	for lv := 0; lv < maxLevels; lv++ {
-		qa, qc, improved := weightedLocalMove(level, seed+int64(lv))
-		if !improved {
-			break
-		}
-		for v := 0; v < n; v++ {
-			mapping[v] = qa[mapping[v]]
-		}
-		level = contractQuotient(level, qa, qc)
-		if level.Graph.NumVertices() <= 1 {
-			break
-		}
-	}
-	return densify(g, mapping, 0)
+// with pBD/pMA/pLA. Each level runs batch-synchronous local moving to
+// convergence, then contracts communities and recurses. The whole
+// hierarchy runs inside a pooled MoveWorkspace; callers that sweep
+// many graphs can hold a workspace and call its Louvain method
+// directly to skip even the per-call result copy.
+func Louvain(g *graph.Graph, opt LouvainOptions) Clustering {
+	ws := AcquireMoveWorkspace()
+	c := ws.Louvain(g, opt)
+	c.Assign = append([]int32(nil), c.Assign...)
+	ReleaseMoveWorkspace(ws)
+	return c
 }
 
 // contractQuotient merges the communities of a quotient into a coarser
 // quotient: sizes, degree sums, and intra weights aggregate, and the
-// surviving inter-community weights collapse.
+// surviving inter-community weights collapse. Like MakeQuotient, the
+// vertex fold and edge walk run with per-worker histograms. (The
+// engine's Louvain contracts inside its workspace; this entry point
+// serves quotient-level analyses and the in-tree map baseline.)
 func contractQuotient(level Quotient, qa []int32, qc int) Quotient {
+	workers := par.Workers()
 	out := Quotient{
 		Intra:  make([]int64, qc),
 		Size:   make([]int64, qc),
 		DegSum: make([]int64, qc),
 	}
-	for v, c := range qa {
-		out.Size[c] += level.Size[v]
-		out.DegSum[c] += level.DegSum[v]
-		out.Intra[c] += level.Intra[v]
-	}
-	edges := make([]graph.Edge, 0, level.Graph.NumEdges())
-	for _, e := range level.Graph.EdgeEndpoints() {
-		ca, cb := qa[e.U], qa[e.V]
-		if ca == cb {
-			// A level edge of weight w is w original edges.
-			out.Intra[ca] += int64(e.W)
-			continue
+	nv := len(qa)
+	sizeW := make([][]int64, workers)
+	degW := make([][]int64, workers)
+	intraVW := make([][]int64, workers)
+	par.ForChunkedN(nv, workers, func(w, lo, hi int) {
+		ls := make([]int64, qc)
+		ld := make([]int64, qc)
+		li := make([]int64, qc)
+		for v := lo; v < hi; v++ {
+			c := qa[v]
+			ls[c] += level.Size[v]
+			ld[c] += level.DegSum[v]
+			li[c] += level.Intra[v]
 		}
-		edges = append(edges, graph.Edge{U: ca, V: cb, W: e.W})
-	}
-	out.Graph = aggregateQuotient(qc, edges, "contract")
+		sizeW[w] = ls
+		degW[w] = ld
+		intraVW[w] = li
+	})
+	reduceHistograms(out.Size, sizeW)
+	reduceHistograms(out.DegSum, degW)
+	reduceHistograms(out.Intra, intraVW)
+	all := level.Graph.EdgeEndpoints()
+	intraEW := make([][]int64, workers)
+	edgesW := make([][]graph.Edge, workers)
+	par.ForChunkedN(len(all), workers, func(w, lo, hi int) {
+		li := make([]int64, qc)
+		le := make([]graph.Edge, 0, hi-lo)
+		for _, e := range all[lo:hi] {
+			ca, cb := qa[e.U], qa[e.V]
+			if ca == cb {
+				// A level edge of weight w is w original edges.
+				li[ca] += int64(e.W)
+				continue
+			}
+			le = append(le, graph.Edge{U: ca, V: cb, W: e.W})
+		}
+		intraEW[w] = li
+		edgesW[w] = le
+	})
+	reduceHistograms(out.Intra, intraEW)
+	out.Graph = aggregateQuotient(qc, concatEdges(edgesW), "contract")
 	return out
-}
-
-// weightedLocalMove runs modularity local moving on a weighted
-// quotient graph whose vertices carry intra-community self-weights.
-// Returns the new (dense) assignment, community count, and whether any
-// move improved modularity.
-func weightedLocalMove(q Quotient, seed int64) ([]int32, int, bool) {
-	qg := q.Graph
-	nq := qg.NumVertices()
-	// Total edge weight of the ORIGINAL graph: sum intra + inter.
-	var m float64
-	for _, w := range q.Intra {
-		m += float64(w)
-	}
-	m += qg.TotalWeight()
-	if m == 0 {
-		return identity(nq), nq, false
-	}
-	assign := identity(nq)
-	// Community degree sums start as the quotient vertices' own.
-	degsum := make([]float64, nq)
-	for c := 0; c < nq; c++ {
-		degsum[c] = float64(q.DegSum[c])
-	}
-	improvedAny := false
-	rngState := uint64(seed)*2862933555777941757 + 3037000493
-	order := make([]int32, nq)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	linksTo := map[int32]float64{}
-	for pass := 0; pass < 16; pass++ {
-		// Deterministic pseudo-shuffle.
-		for i := nq - 1; i > 0; i-- {
-			rngState = rngState*6364136223846793005 + 1442695040888963407
-			j := int(rngState % uint64(i+1))
-			order[i], order[j] = order[j], order[i]
-		}
-		moves := 0
-		for _, v := range order {
-			cv := assign[v]
-			kv := float64(q.DegSum[v])
-			for k := range linksTo {
-				delete(linksTo, k)
-			}
-			lo, hi := qg.Offsets[v], qg.Offsets[v+1]
-			for a := lo; a < hi; a++ {
-				linksTo[assign[qg.Adj[a]]] += qg.W[a]
-			}
-			lcv := linksTo[cv]
-			bestD := cv
-			bestGain := 0.0
-			for d, ld := range linksTo {
-				if d == cv {
-					continue
-				}
-				gain := (ld-lcv)/m - kv*(degsum[d]-(degsum[cv]-kv))/(2*m*m)
-				if gain > bestGain || (gain == bestGain && gain > 0 && d < bestD) {
-					bestGain = gain
-					bestD = d
-				}
-			}
-			if bestD != cv && bestGain > 0 {
-				degsum[cv] -= kv
-				degsum[bestD] += kv
-				assign[v] = bestD
-				moves++
-				improvedAny = true
-			}
-		}
-		if moves == 0 {
-			break
-		}
-	}
-	// Densify ids.
-	remap := map[int32]int32{}
-	for v, c := range assign {
-		if _, ok := remap[c]; !ok {
-			remap[c] = int32(len(remap))
-		}
-		assign[v] = remap[c]
-	}
-	return assign, len(remap), improvedAny
 }
 
 func identity(n int) []int32 {

@@ -54,7 +54,7 @@ func TestQuotientAccountingConsistency(t *testing.T) {
 
 func TestLouvainTwoTriangles(t *testing.T) {
 	g := twoTriangles(t)
-	c := Louvain(g, 0, 1)
+	c := Louvain(g, LouvainOptions{Seed: 1})
 	want := 6.0/7.0 - 0.5
 	if c.Count != 2 || math.Abs(c.Q-want) > 1e-9 {
 		t.Fatalf("louvain: count=%d Q=%g, want 2 / %g", c.Count, c.Q, want)
@@ -63,7 +63,7 @@ func TestLouvainTwoTriangles(t *testing.T) {
 
 func TestLouvainKarate(t *testing.T) {
 	g := datasets.Karate()
-	c := Louvain(g, 0, 1)
+	c := Louvain(g, LouvainOptions{Seed: 1})
 	if c.Q < 0.40 {
 		t.Fatalf("louvain karate Q = %.4f, want >= 0.40", c.Q)
 	}
@@ -74,7 +74,7 @@ func TestLouvainKarate(t *testing.T) {
 
 func TestLouvainPlantedRecovery(t *testing.T) {
 	g, truth := generate.PlantedPartition(5, 40, 0.4, 0.005, 8)
-	c := Louvain(g, 0, 2)
+	c := Louvain(g, LouvainOptions{Seed: 2})
 	truthQ := Modularity(g, truth, 1)
 	if c.Q < truthQ*0.95 {
 		t.Fatalf("louvain planted Q = %.3f, want >= 95%% of %.3f", c.Q, truthQ)
@@ -89,7 +89,7 @@ func TestLouvainAtLeastAsGoodAsPMAOnSurrogates(t *testing.T) {
 	// style agglomeration on community-structured graphs.
 	net, _ := datasets.ByLabel("E-mail")
 	g := net.Build(0.5)
-	lv := Louvain(g, 0, 3)
+	lv := Louvain(g, LouvainOptions{Seed: 3})
 	pma, _ := PMA(g, PMAOptions{StopWhenNegative: true})
 	if lv.Q < pma.Q-0.05 {
 		t.Fatalf("louvain Q=%.3f clearly below pMA Q=%.3f", lv.Q, pma.Q)

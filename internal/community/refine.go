@@ -6,13 +6,16 @@ import (
 	"sort"
 
 	"snap/internal/graph"
+	"snap/internal/par"
 )
 
-// moveState is the shared bookkeeping of the local-moving heuristics:
-// community degree sums with a free-list of empty community ids so a
-// vertex can detach into a fresh singleton community (without this,
-// local moving can never increase the community count and misses
-// optima such as karate's 4-community Q = 0.4198 partition).
+// moveState is the single-move bookkeeping Anneal's Metropolis walk
+// uses: community degree sums with a free-list of empty community ids
+// so a vertex can detach into a fresh singleton community (without
+// this, local moving can never increase the community count and misses
+// optima such as karate's 4-community Q = 0.4198 partition). The
+// batch-synchronous engine in move.go keeps the same accounting for
+// Louvain and Refine.
 type moveState struct {
 	g      *graph.Graph
 	m      float64
@@ -74,76 +77,22 @@ func (st *moveState) freshCommunity() int32 {
 	return id
 }
 
-// linksOf fills scratch with community -> edge count from v.
-func (st *moveState) linksOf(v int32, scratch map[int32]float64) {
-	for k := range scratch {
-		delete(scratch, k)
-	}
-	for _, u := range st.g.Neighbors(v) {
-		scratch[st.assign[u]]++
-	}
-}
-
 // Refine improves a clustering by greedy single-vertex moves
 // (Kernighan–Lin style local moving): each pass visits the vertices in
-// random order and applies the best positive-gain move — either into a
-// neighboring community or detaching into a fresh singleton. It never
-// decreases Q. This is the post-pass used to approximate the "best
-// known" comparator column of the paper's Table 2 on small instances.
+// pseudo-random order and applies the best positive-gain move — either
+// into a neighboring community or detaching into a fresh singleton. It
+// never decreases Q. This is the post-pass used to approximate the
+// "best known" comparator column of the paper's Table 2 on small
+// instances. The work runs on the pooled batch-synchronous engine
+// (move.go): for a fixed seed the result is identical at every worker
+// count, and holding a MoveWorkspace across calls makes repeated
+// refinement allocation-free.
 func Refine(g *graph.Graph, c Clustering, maxPasses int, seed int64) Clustering {
-	if maxPasses <= 0 {
-		maxPasses = 16
-	}
-	n := g.NumVertices()
-	if n == 0 || g.NumEdges() == 0 {
-		return c
-	}
-	st := newMoveState(g, c)
-	rng := rand.New(rand.NewSource(seed))
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	linksTo := map[int32]float64{}
-	for pass := 0; pass < maxPasses; pass++ {
-		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-		moves := 0
-		for _, v := range order {
-			cv := st.assign[v]
-			st.linksOf(v, linksTo)
-			lcv := linksTo[cv]
-			bestD := cv
-			bestGain := 0.0
-			detach := false
-			for d, ld := range linksTo {
-				if d == cv {
-					continue
-				}
-				if gn := st.gain(v, d, ld, lcv); gn > bestGain || (gn == bestGain && gn > 0 && d < bestD) {
-					bestGain = gn
-					bestD = d
-					detach = false
-				}
-			}
-			if gn := st.detachGain(v, lcv); gn > bestGain {
-				bestGain = gn
-				detach = true
-			}
-			if bestGain <= 0 {
-				continue
-			}
-			if detach {
-				st.apply(v, st.freshCommunity())
-			} else {
-				st.apply(v, bestD)
-			}
-			moves++
-		}
-		if moves == 0 {
-			break
-		}
-	}
-	return densify(g, st.assign, 0)
+	ws := AcquireMoveWorkspace()
+	out := ws.Refine(g, c, maxPasses, seed, par.Workers())
+	out.Assign = append([]int32(nil), out.Assign...)
+	ReleaseMoveWorkspace(ws)
+	return out
 }
 
 // Anneal estimates a near-optimal modularity on SMALL graphs with
@@ -164,22 +113,29 @@ func Anneal(g *graph.Graph, steps int, seed int64) Clustering {
 	cur := start.Q
 	best := start.Q
 	temp := 0.05
-	linksTo := map[int32]float64{}
+	// Neighbor-community accumulation via the dense epoch-stamped
+	// scatter (one gather per step, no map).
+	links := &moveScatter{}
+	links.ensure(len(st.degsum))
+	var cands []int32
 	for s := 0; s < steps; s++ {
 		v := int32(rng.Intn(n))
 		if g.Degree(v) == 0 {
 			continue
 		}
 		cv := st.assign[v]
-		st.linksOf(v, linksTo)
-		lcv := linksTo[cv]
+		links.begin()
+		for _, u := range g.Neighbors(v) {
+			links.add(st.assign[u], 1)
+		}
+		lcv := links.get(cv)
 		// Candidate: random neighboring community, or a detach move.
 		var gn float64
 		var target int32
 		detach := rng.Intn(8) == 0
 		if !detach {
-			cands := make([]int32, 0, len(linksTo))
-			for d := range linksTo {
+			cands = cands[:0]
+			for _, d := range links.touched {
 				if d != cv {
 					cands = append(cands, d)
 				}
@@ -187,11 +143,11 @@ func Anneal(g *graph.Graph, steps int, seed int64) Clustering {
 			if len(cands) == 0 {
 				continue
 			}
-			// Map iteration order is random; sort so the RNG draw is
-			// reproducible for a fixed seed.
+			// Sort so the RNG draw matches the former map-based walk
+			// (which sorted to neutralize map iteration order).
 			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 			target = cands[rng.Intn(len(cands))]
-			gn = st.gain(v, target, linksTo[target], lcv)
+			gn = st.gain(v, target, links.get(target), lcv)
 		} else {
 			gn = st.detachGain(v, lcv)
 		}

@@ -1,0 +1,24 @@
+package graph
+
+// SortedIntersectCount returns the number of values common to the two
+// ascending-sorted id slices. CSR adjacency runs are sorted, so this
+// two-pointer merge is the shared inner kernel of triangle counting,
+// clustering coefficients (metrics), and pLA's local attachment metric
+// (community) — every "how many common neighbors" question in the
+// repository routes through it.
+func SortedIntersectCount(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}

@@ -1,0 +1,25 @@
+package graph
+
+import "testing"
+
+func TestSortedIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int32{1, 2, 3}, nil, 0},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 2},
+		{[]int32{1, 3, 5, 7}, []int32{2, 4, 6, 8}, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 3},
+		{[]int32{5}, []int32{0, 5, 9}, 1},
+	}
+	for _, c := range cases {
+		if got := SortedIntersectCount(c.a, c.b); got != c.want {
+			t.Fatalf("SortedIntersectCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := SortedIntersectCount(c.b, c.a); got != c.want {
+			t.Fatalf("SortedIntersectCount(%v, %v) = %d, want %d", c.b, c.a, got, c.want)
+		}
+	}
+}

@@ -75,7 +75,7 @@ func LocalClustering(g *graph.Graph, workers int) []float64 {
 			if u == v {
 				continue
 			}
-			links += sortedIntersectCount(g.Neighbors(u), adj[i+1:])
+			links += graph.SortedIntersectCount(g.Neighbors(u), adj[i+1:])
 		}
 		out[vi] = 2 * float64(links) / (float64(d) * float64(d-1))
 	})
@@ -113,7 +113,7 @@ func Transitivity(g *graph.Graph, workers int) float64 {
 			d := int64(len(adj))
 			t += d * (d - 1) / 2
 			for i := 0; i < len(adj); i++ {
-				c += int64(sortedIntersectCount(g.Neighbors(adj[i]), adj[i+1:]))
+				c += int64(graph.SortedIntersectCount(g.Neighbors(adj[i]), adj[i+1:]))
 			}
 		}
 		closed[w] += c
@@ -131,23 +131,6 @@ func Transitivity(g *graph.Graph, workers int) float64 {
 	// neighbors close it; summing the pairwise intersections counts
 	// each triangle exactly three times across its three vertices.
 	return float64(c) / float64(t)
-}
-
-func sortedIntersectCount(a, b []int32) int {
-	i, j, c := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			c++
-			i++
-			j++
-		}
-	}
-	return c
 }
 
 // Assortativity returns Newman's degree assortativity coefficient r:

@@ -449,11 +449,27 @@ func Conductance(g *Graph, c Clustering) []float64 {
 // NMI scores two clusterings' agreement (1 = identical partitions).
 func NMI(a, b []int32) float64 { return community.NMI(a, b) }
 
+// LouvainOptions configures the multilevel local-moving heuristic.
+type LouvainOptions = community.LouvainOptions
+
 // Louvain runs the multilevel local-moving modularity heuristic
 // (Blondel et al. 2008), included as the modern comparison baseline.
-func Louvain(g *Graph, seed int64) Clustering {
-	return community.Louvain(g, 0, seed)
+// For a fixed Seed the partition is identical at every worker count.
+func Louvain(g *Graph, opt LouvainOptions) Clustering {
+	return community.Louvain(g, opt)
 }
+
+// MoveWorkspace is the pooled state of the local-moving engine behind
+// Louvain and RefineClustering. Holding one across calls makes
+// repeated runs allocation-free; results returned by its methods alias
+// the workspace.
+type MoveWorkspace = community.MoveWorkspace
+
+// AcquireMoveWorkspace returns a pooled local-moving workspace.
+func AcquireMoveWorkspace() *MoveWorkspace { return community.AcquireMoveWorkspace() }
+
+// ReleaseMoveWorkspace returns a workspace to the pool.
+func ReleaseMoveWorkspace(ws *MoveWorkspace) { community.ReleaseMoveWorkspace(ws) }
 
 // CommunityGraph contracts a clustering into its weighted quotient.
 func CommunityGraph(g *Graph, c Clustering) *Graph {

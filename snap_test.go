@@ -247,7 +247,7 @@ func TestFacadeNewKernels(t *testing.T) {
 
 func TestFacadeLouvainAndQuality(t *testing.T) {
 	g, truth := PlantedPartition(4, 30, 0.5, 0.01, 4)
-	lv := Louvain(g, 1)
+	lv := Louvain(g, LouvainOptions{Seed: 1})
 	if lv.Q < Modularity(g, truth)*0.9 {
 		t.Fatalf("louvain Q %.3f too low", lv.Q)
 	}

@@ -26,6 +26,7 @@ func main() {
 		table   = flag.String("table", "", "table to regenerate: 1, 2, or 3")
 		figure  = flag.String("figure", "", "figure to regenerate: 2, 3a, or 3b")
 		ablate  = flag.Bool("ablations", false, "run the design-choice ablations")
+		loads   = flag.Bool("loads", false, "measure the graph ingest paths (text vs SNP1 vs SNP2)")
 		all     = flag.Bool("all", false, "run every experiment in paper order")
 		scale   = flag.Float64("scale", 0.1, "instance scale relative to the paper (1 = full size)")
 		k       = flag.Int("k", 32, "part count for Table 1")
@@ -90,6 +91,10 @@ func main() {
 	}
 	if *ablate {
 		bench.Ablations(cfg)
+		ran = true
+	}
+	if *loads {
+		bench.Loads(cfg)
 		ran = true
 	}
 	if !ran {

@@ -1,13 +1,15 @@
 // Command snap-convert converts graphs between the supported formats:
-// the SNAP text edge list, the compact binary CSR snapshot, the
-// METIS/Chaco graph format, the DIMACS edge format, and (write-only)
-// GraphViz DOT.
+// the SNAP text edge list, the compact binary CSR snapshot (SNP1), the
+// zero-copy mmap container (SNP2, optionally varint delta-compressed),
+// the METIS/Chaco graph format, the DIMACS edge format, and
+// (write-only) GraphViz DOT.
 //
 // Usage:
 //
 //	snap-convert -i g.txt -from text -o g.metis -to metis
 //	snap-convert -i g.metis -from metis -o g.snp -to binary
-//	snap-convert -i g.txt -from text -o g.dot -to dot
+//	snap-convert -i g.snp -from binary -o g.snp2 -to snp2 -compress
+//	snap-convert -i g.snp2 -from snp2 -o g.txt -to text
 package main
 
 import (
@@ -17,40 +19,54 @@ import (
 	"os"
 
 	"snap/internal/graph"
+	"snap/internal/graph/container"
 )
 
 func main() {
 	var (
 		in       = flag.String("i", "-", "input path ('-' = stdin)")
 		out      = flag.String("o", "-", "output path ('-' = stdout)")
-		from     = flag.String("from", "text", "input format: text | binary | metis | dimacs")
-		to       = flag.String("to", "text", "output format: text | binary | metis | dimacs | dot")
+		from     = flag.String("from", "text", "input format: text | binary | snp2 | metis | dimacs")
+		to       = flag.String("to", "text", "output format: text | binary | snp2 | metis | dimacs | dot")
 		directed = flag.Bool("directed", false, "treat text input as directed")
+		compress = flag.Bool("compress", false, "varint delta-compress adjacency when -to snp2")
 	)
 	flag.Parse()
 
-	var r io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		r = f
-	}
 	var g *graph.Graph
 	var err error
-	switch *from {
-	case "text":
-		g, err = graph.ReadEdgeList(r, *directed)
-	case "binary":
-		g, err = graph.ReadBinary(r)
-	case "metis":
-		g, err = graph.ReadMETIS(r)
-	case "dimacs":
-		g, err = graph.ReadDIMACS(r)
-	default:
-		fatal(fmt.Errorf("unknown -from %q", *from))
+	if *from == "snp2" && *in != "-" {
+		// A real file maps zero-copy; the graph stays valid for the
+		// process lifetime, so the conversion below reads straight out
+		// of the page cache.
+		g, err = container.Load(*in, container.LoadOptions{})
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, oerr := os.Open(*in)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			defer f.Close()
+			r = f
+		}
+		switch *from {
+		case "text":
+			g, err = graph.ReadEdgeList(r, *directed)
+		case "binary":
+			g, err = graph.ReadBinary(r)
+		case "snp2":
+			var data []byte
+			if data, err = io.ReadAll(r); err == nil {
+				g, err = container.Decode(data, container.LoadOptions{})
+			}
+		case "metis":
+			g, err = graph.ReadMETIS(r)
+		case "dimacs":
+			g, err = graph.ReadDIMACS(r)
+		default:
+			fatal(fmt.Errorf("unknown -from %q", *from))
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -70,6 +86,8 @@ func main() {
 		err = graph.WriteEdgeList(w, g)
 	case "binary":
 		err = graph.WriteBinary(w, g)
+	case "snp2":
+		err = container.Encode(w, g, container.Options{Compress: *compress})
 	case "metis":
 		err = graph.WriteMETIS(w, g)
 	case "dimacs":

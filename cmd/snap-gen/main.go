@@ -5,6 +5,7 @@
 //
 //	snap-gen -type rmat -n 100000 -m 400000 -o graph.txt
 //	snap-gen -type road -rows 300 -cols 300 -extra 0.2 -format binary -o road.snp
+//	snap-gen -type rmat -n 1048576 -m 8388608 -format snp2 -compress -o rmat.snp2
 //	snap-gen -type planted -k 8 -csize 500 -pin 0.2 -pout 0.005 -o comm.txt
 package main
 
@@ -15,25 +16,27 @@ import (
 
 	"snap/internal/generate"
 	"snap/internal/graph"
+	"snap/internal/graph/container"
 )
 
 func main() {
 	var (
-		typ    = flag.String("type", "rmat", "family: rmat | er | road | ws | planted | ba")
-		n      = flag.Int("n", 10000, "vertex count (rmat, er, ws, ba)")
-		m      = flag.Int("m", 40000, "edge count (rmat, er)")
-		rows   = flag.Int("rows", 100, "mesh rows (road)")
-		cols   = flag.Int("cols", 100, "mesh cols (road)")
-		extra  = flag.Float64("extra", 0.1, "shortcut fraction (road)")
-		kNear  = flag.Int("knear", 4, "ring neighbors (ws) / attachments (ba)")
-		beta   = flag.Float64("beta", 0.1, "rewiring probability (ws)")
-		k      = flag.Int("k", 4, "communities (planted)")
-		csize  = flag.Int("csize", 100, "community size (planted)")
-		pin    = flag.Float64("pin", 0.2, "intra-community edge probability (planted)")
-		pout   = flag.Float64("pout", 0.01, "inter-community edge probability (planted)")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		out    = flag.String("o", "-", "output path ('-' = stdout)")
-		format = flag.String("format", "text", "output format: text | binary")
+		typ      = flag.String("type", "rmat", "family: rmat | er | road | ws | planted | ba")
+		n        = flag.Int("n", 10000, "vertex count (rmat, er, ws, ba)")
+		m        = flag.Int("m", 40000, "edge count (rmat, er)")
+		rows     = flag.Int("rows", 100, "mesh rows (road)")
+		cols     = flag.Int("cols", 100, "mesh cols (road)")
+		extra    = flag.Float64("extra", 0.1, "shortcut fraction (road)")
+		kNear    = flag.Int("knear", 4, "ring neighbors (ws) / attachments (ba)")
+		beta     = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		k        = flag.Int("k", 4, "communities (planted)")
+		csize    = flag.Int("csize", 100, "community size (planted)")
+		pin      = flag.Float64("pin", 0.2, "intra-community edge probability (planted)")
+		pout     = flag.Float64("pout", 0.01, "inter-community edge probability (planted)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "-", "output path ('-' = stdout)")
+		format   = flag.String("format", "text", "output format: text | binary | snp2")
+		compress = flag.Bool("compress", false, "varint delta-compress adjacency (-format snp2)")
 	)
 	flag.Parse()
 
@@ -74,6 +77,8 @@ func main() {
 		err = graph.WriteEdgeList(dst, g)
 	case "binary":
 		err = graph.WriteBinary(dst, g)
+	case "snp2":
+		err = container.Encode(dst, g, container.Options{Compress: *compress})
 	default:
 		fmt.Fprintf(os.Stderr, "snap-gen: unknown -format %q\n", *format)
 		os.Exit(2)

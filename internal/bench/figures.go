@@ -223,5 +223,6 @@ func All(cfg Config) {
 	Figure3a(cfg)
 	Figure3b(cfg)
 	Ablations(cfg)
+	Loads(cfg)
 	fmt.Fprintf(cfg.Out, "total harness time: %.1fs\n", time.Since(start).Seconds())
 }

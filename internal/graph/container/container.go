@@ -1,0 +1,440 @@
+// Package container implements SNP2, the versioned zero-copy binary
+// CSR container. A container file is a 4 KiB header page followed by
+// page-aligned sections holding the raw little-endian CSR arrays
+// (Offsets, Adj, EID, W) or, in the compressed variant, a varint
+// delta-encoded adjacency section exploiting the sorted-neighbor
+// guarantee of the CSR builder.
+//
+// Because every section starts on a page boundary, a mapped file is
+// correctly aligned for direct reinterpretation: on little-endian
+// hosts Load mmaps the file and the returned graph's slices alias the
+// mapping — load time is O(1) in the graph size, warm loads allocate
+// O(1) memory, multiple processes share one page-cache copy, and
+// graphs larger than RAM degrade to demand paging. The compressed
+// variant trades that for ~2x smaller adjacency: its Adj section is
+// materialized on load by a parallel per-vertex decoder (the decoded
+// view), while the remaining sections still alias the mapping.
+//
+// Lifetime: a mapped graph holds the mapping until Graph.Close; a
+// finalizer backstops leaked graphs. Slices handed out by the graph
+// (Neighbors, Weights, ...) alias the mapping and die with it. See
+// DESIGN.md §5g for the format layout and the full lifetime rules.
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"snap/internal/graph"
+	"snap/internal/lebytes"
+)
+
+const (
+	pageSize = 4096
+
+	version = 1
+
+	flagDirected   = 1 << 0
+	flagWeighted   = 1 << 1
+	flagCompressed = 1 << 2
+	flagsKnown     = flagDirected | flagWeighted | flagCompressed
+
+	// Section ids. Offsets/EID (and W when weighted) appear in every
+	// container; Adj appears in uncompressed containers, COff+CAdj in
+	// compressed ones.
+	secOffsets = 1 // (n+1) int64 arc offsets
+	secAdj     = 2 // arcs int32 neighbor ids
+	secEID     = 3 // arcs int32 edge ids
+	secW       = 4 // arcs float64 weights
+	secCOff    = 5 // (n+1) int64 byte offsets into CAdj
+	secCAdj    = 6 // varint delta-encoded adjacency bytes
+	maxSecID   = 6
+
+	headerFixed  = 48 // magic, version, flags, n, m, arcs, nsec
+	secEntrySize = 24 // id, off, len
+)
+
+var magic = [4]byte{'S', 'N', 'P', '2'}
+
+// Options controls Save/Encode.
+type Options struct {
+	// Compress varint delta-encodes the adjacency section. Loading then
+	// materializes the neighbor array on the heap (parallel decode)
+	// instead of aliasing it, trading load time and resident adjacency
+	// for ~2x smaller adjacency bytes and less page-cache footprint.
+	Compress bool
+}
+
+// LoadOptions controls Load/Decode.
+type LoadOptions struct {
+	// ForceCopy materializes every section on the heap instead of
+	// aliasing the mapping (or input bytes). The mapping is released
+	// before Load returns; use it when the graph must outlive the file.
+	ForceCopy bool
+	// Validate runs the full graph.Validate invariant check on the
+	// loaded graph (O(n + arcs), touches every page). The default load
+	// verifies the header, section table, and offset monotonicity only;
+	// kernels index the remaining sections unchecked, so turn this on
+	// for containers from untrusted sources.
+	Validate bool
+}
+
+// span is one parsed section-table entry.
+type span struct {
+	off, n  int64
+	present bool
+}
+
+// header is the parsed and bounds-checked header page.
+type header struct {
+	flags   uint64
+	n       int64
+	m       int64
+	arcs    int64
+	secs    [maxSecID + 1]span
+	fileLen int64
+}
+
+func (h *header) directed() bool   { return h.flags&flagDirected != 0 }
+func (h *header) weighted() bool   { return h.flags&flagWeighted != 0 }
+func (h *header) compressed() bool { return h.flags&flagCompressed != 0 }
+
+// pad returns x rounded up to the next page boundary.
+func pad(x int64) int64 { return (x + pageSize - 1) &^ (pageSize - 1) }
+
+// Save writes g to path as an SNP2 container.
+func Save(path string, g *graph.Graph, opt Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, g, opt); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// Encode writes g to w in the SNP2 container layout. The output is
+// deterministic for a given graph and options (section contents are
+// independent of the worker count).
+func Encode(w io.Writer, g *graph.Graph, opt Options) error {
+	n := int64(g.NumVertices())
+	arcs := int64(len(g.Adj))
+	var flags uint64
+	if g.Directed() {
+		flags |= flagDirected
+	}
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+
+	type section struct {
+		id    uint64
+		bytes int64
+		write func(io.Writer) error
+	}
+	secs := []section{{secOffsets, 8 * (n + 1), func(w io.Writer) error {
+		return lebytes.WriteInt64s(w, g.Offsets)
+	}}}
+	if opt.Compress {
+		flags |= flagCompressed
+		coff, cbuf := encodeAdjacency(g)
+		secs = append(secs,
+			section{secCOff, 8 * (n + 1), func(w io.Writer) error {
+				return lebytes.WriteInt64s(w, coff)
+			}},
+			section{secCAdj, int64(len(cbuf)), func(w io.Writer) error {
+				_, err := w.Write(cbuf)
+				return err
+			}})
+	} else {
+		secs = append(secs, section{secAdj, 4 * arcs, func(w io.Writer) error {
+			return lebytes.WriteInt32s(w, g.Adj)
+		}})
+	}
+	secs = append(secs, section{secEID, 4 * arcs, func(w io.Writer) error {
+		return lebytes.WriteInt32s(w, g.EID)
+	}})
+	if g.Weighted() {
+		secs = append(secs, section{secW, 8 * arcs, func(w io.Writer) error {
+			return lebytes.WriteFloat64s(w, g.W)
+		}})
+	}
+
+	// Header page: fixed fields plus the section table, zero padded.
+	hdr := make([]byte, pageSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint64(hdr[8:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(g.NumEdges()))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(arcs))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(secs)))
+	off := int64(pageSize)
+	for i, s := range secs {
+		e := hdr[headerFixed+i*secEntrySize:]
+		binary.LittleEndian.PutUint64(e, s.id)
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(s.bytes))
+		off += pad(s.bytes)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	zeros := make([]byte, pageSize)
+	for _, s := range secs {
+		if err := s.write(w); err != nil {
+			return err
+		}
+		if tail := pad(s.bytes) - s.bytes; tail > 0 {
+			if _, err := w.Write(zeros[:tail]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load opens an SNP2 container by memory mapping (on linux/darwin; a
+// read-into-heap fallback elsewhere). The returned graph's slices
+// alias the mapping unless opt.ForceCopy or the compressed adjacency
+// arm materializes them; call Close on the graph to release the
+// mapping. A finalizer backstops graphs that are dropped unclosed.
+func Load(path string, opt LoadOptions) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < pageSize {
+		return nil, fmt.Errorf("container: %s: %d bytes is smaller than the header page", path, size)
+	}
+	data, unmap, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("container: map %s: %w", path, err)
+	}
+	g, err := Decode(data, opt)
+	if err != nil || opt.ForceCopy {
+		if unmap != nil {
+			unmap()
+		}
+		return g, err
+	}
+	if unmap != nil {
+		g.SetCloser(unmap)
+		runtime.SetFinalizer(g, (*graph.Graph).Close)
+	}
+	return g, nil
+}
+
+// Decode reconstructs a graph from the bytes of an SNP2 container.
+// Unless opt.ForceCopy, the graph's slices alias data (zero copy on
+// aligned little-endian input), so data must stay live and immutable
+// for the graph's lifetime. Every header and section-table field is
+// bounds-checked against len(data) before any allocation, so corrupt
+// or truncated input yields an error, never a giant allocation or an
+// out-of-range read.
+func Decode(data []byte, opt LoadOptions) (*graph.Graph, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := int64Section(data, h.secs[secOffsets], opt.ForceCopy)
+	if err != nil {
+		return nil, fmt.Errorf("container: offsets section: %w", err)
+	}
+	if err := checkMonotone("offsets", offsets, h.arcs); err != nil {
+		return nil, err
+	}
+
+	var adj []int32
+	if h.compressed() {
+		coff, err := int64Section(data, h.secs[secCOff], false)
+		if err != nil {
+			return nil, fmt.Errorf("container: compressed-offset section: %w", err)
+		}
+		if err := checkMonotone("compressed offsets", coff, h.secs[secCAdj].n); err != nil {
+			return nil, err
+		}
+		cadj := data[h.secs[secCAdj].off : h.secs[secCAdj].off+h.secs[secCAdj].n]
+		adj, err = decodeAdjacency(int(h.n), offsets, coff, cadj)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		adj, err = int32Section(data, h.secs[secAdj], opt.ForceCopy)
+		if err != nil {
+			return nil, fmt.Errorf("container: adjacency section: %w", err)
+		}
+	}
+
+	eid, err := int32Section(data, h.secs[secEID], opt.ForceCopy)
+	if err != nil {
+		return nil, fmt.Errorf("container: edge-id section: %w", err)
+	}
+	var w []float64
+	if h.weighted() {
+		w, err = float64Section(data, h.secs[secW], opt.ForceCopy)
+		if err != nil {
+			return nil, fmt.Errorf("container: weight section: %w", err)
+		}
+	}
+
+	g := graph.WrapCSR(offsets, adj, eid, w, h.directed(), int(h.m))
+	if opt.Validate {
+		if err := graph.Validate(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// parseHeader validates the header page and section table against the
+// actual input length.
+func parseHeader(data []byte) (*header, error) {
+	if len(data) < pageSize {
+		return nil, fmt.Errorf("container: %d bytes is smaller than the header page", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("container: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != version {
+		return nil, fmt.Errorf("container: unsupported version %d", v)
+	}
+	h := &header{
+		flags:   binary.LittleEndian.Uint64(data[8:]),
+		fileLen: int64(len(data)),
+	}
+	if h.flags&^uint64(flagsKnown) != 0 {
+		return nil, fmt.Errorf("container: unknown flags %#x", h.flags)
+	}
+	n := binary.LittleEndian.Uint64(data[16:])
+	m := binary.LittleEndian.Uint64(data[24:])
+	arcs := binary.LittleEndian.Uint64(data[32:])
+	nsec := binary.LittleEndian.Uint64(data[40:])
+	if n > 1<<31 || arcs > 1<<33 || m > arcs {
+		return nil, fmt.Errorf("container: implausible sizes n=%d m=%d arcs=%d", n, m, arcs)
+	}
+	h.n, h.m, h.arcs = int64(n), int64(m), int64(arcs)
+	if nsec > maxSecID {
+		return nil, fmt.Errorf("container: %d sections exceeds the format's %d", nsec, maxSecID)
+	}
+	for i := 0; i < int(nsec); i++ {
+		e := data[headerFixed+i*secEntrySize:]
+		id := binary.LittleEndian.Uint64(e)
+		off := binary.LittleEndian.Uint64(e[8:])
+		ln := binary.LittleEndian.Uint64(e[16:])
+		if id < 1 || id > maxSecID {
+			return nil, fmt.Errorf("container: unknown section id %d", id)
+		}
+		if h.secs[id].present {
+			return nil, fmt.Errorf("container: duplicate section id %d", id)
+		}
+		if off%pageSize != 0 || off < pageSize {
+			return nil, fmt.Errorf("container: section %d misaligned at offset %d", id, off)
+		}
+		if off > uint64(h.fileLen) || ln > uint64(h.fileLen)-off {
+			return nil, fmt.Errorf("container: section %d [%d,+%d) exceeds the %d-byte input", id, off, ln, h.fileLen)
+		}
+		h.secs[id] = span{off: int64(off), n: int64(ln), present: true}
+	}
+
+	want := func(id int, bytes int64, what string) error {
+		s := h.secs[id]
+		if !s.present {
+			return fmt.Errorf("container: missing %s section", what)
+		}
+		if s.n != bytes {
+			return fmt.Errorf("container: %s section is %d bytes, want %d", what, s.n, bytes)
+		}
+		return nil
+	}
+	if err := want(secOffsets, 8*(h.n+1), "offsets"); err != nil {
+		return nil, err
+	}
+	if err := want(secEID, 4*h.arcs, "edge-id"); err != nil {
+		return nil, err
+	}
+	if h.compressed() {
+		if err := want(secCOff, 8*(h.n+1), "compressed-offset"); err != nil {
+			return nil, err
+		}
+		if !h.secs[secCAdj].present {
+			return nil, fmt.Errorf("container: missing compressed-adjacency section")
+		}
+	} else if err := want(secAdj, 4*h.arcs, "adjacency"); err != nil {
+		return nil, err
+	}
+	if h.weighted() {
+		if err := want(secW, 8*h.arcs, "weight"); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// int64Section views (or copies) a section as []int64.
+func int64Section(data []byte, s span, forceCopy bool) ([]int64, error) {
+	b := data[s.off : s.off+s.n]
+	if !forceCopy {
+		if v, ok := lebytes.AliasInt64s(b); ok {
+			return v, nil
+		}
+	}
+	dst := make([]int64, len(b)/8)
+	lebytes.BytesToInt64s(dst, b)
+	return dst, nil
+}
+
+func int32Section(data []byte, s span, forceCopy bool) ([]int32, error) {
+	b := data[s.off : s.off+s.n]
+	if !forceCopy {
+		if v, ok := lebytes.AliasInt32s(b); ok {
+			return v, nil
+		}
+	}
+	dst := make([]int32, len(b)/4)
+	lebytes.BytesToInt32s(dst, b)
+	return dst, nil
+}
+
+func float64Section(data []byte, s span, forceCopy bool) ([]float64, error) {
+	b := data[s.off : s.off+s.n]
+	if !forceCopy {
+		if v, ok := lebytes.AliasFloat64s(b); ok {
+			return v, nil
+		}
+	}
+	dst := make([]float64, len(b)/8)
+	lebytes.BytesToFloat64s(dst, b)
+	return dst, nil
+}
+
+// checkMonotone verifies an offset array starts at 0, ends at total,
+// and never decreases — the invariant that keeps kernels (and the
+// varint decoder) from indexing out of range. O(n) sequential scan;
+// cheap next to the sections it guards.
+func checkMonotone(what string, offsets []int64, total int64) error {
+	if len(offsets) == 0 {
+		return fmt.Errorf("container: empty %s array", what)
+	}
+	if offsets[0] != 0 || offsets[len(offsets)-1] != total {
+		return fmt.Errorf("container: %s array spans [%d,%d], want [0,%d]", what, offsets[0], offsets[len(offsets)-1], total)
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return fmt.Errorf("container: %s array decreases at %d", what, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package container
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile is the portable fallback for hosts without a wired mmap: it
+// reads the file into heap memory. The nil release func tells Load the
+// bytes have no lifetime beyond garbage collection, so no closer or
+// finalizer is registered.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

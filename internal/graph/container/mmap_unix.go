@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package container
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared (one page-cache
+// copy across every process mapping the same container). The returned
+// release func unmaps; until then the bytes stay valid independent of
+// the *os.File, which the caller may close.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,166 @@
+package container
+
+import (
+	"fmt"
+	"math/bits"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// Varint delta compression of the adjacency section.
+//
+// The CSR builder guarantees each vertex's neighbors are sorted
+// ascending, so consecutive gaps are non-negative and — on locality-
+// relabeled graphs — small. Per vertex v with neighbors a_0 <= a_1 <=
+// ... the row encodes zigzag(a_0 - v) (the first neighbor is near v on
+// relabeled graphs, but the difference can be negative) followed by
+// the plain gaps a_i - a_{i-1}, all as LEB128 uvarints. A parallel
+// int64 prefix sum over per-row byte lengths (COff, stored alongside)
+// makes every row independently addressable, which is what lets both
+// the encoder and the decoder scatter rows across workers with no
+// synchronization — the counts -> cursors -> scatter pattern of the
+// CSR assembly kernel, with byte lengths as the counts.
+
+// zigzag maps a signed delta onto the unsigned varint domain.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarintLen is the LEB128-encoded size of x in bytes.
+func uvarintLen(x uint64) int64 { return int64(bits.Len64(x|1)+6) / 7 }
+
+// putUvarint encodes x into b (which must have room) and returns the
+// bytes written.
+func putUvarint(b []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		b[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	b[i] = byte(x)
+	return i + 1
+}
+
+// uvarint decodes a LEB128 value from b, returning the value and the
+// bytes consumed (0 when b is truncated or the value overflows 64
+// bits).
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, 0 // > 64 bits
+		}
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, 0
+			}
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// encodeAdjacency varint delta-encodes every adjacency row of g,
+// returning the per-vertex byte offsets (length n+1) and the encoded
+// bytes. Two passes — parallel per-row length count, prefix sum to
+// cursors, parallel scatter encode into disjoint ranges — so the
+// output is bit-identical at any worker count.
+func encodeAdjacency(g *graph.Graph) ([]int64, []byte) {
+	n := g.NumVertices()
+	lens := make([]int64, n)
+	par.ForChunked(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+			if len(adj) == 0 {
+				continue
+			}
+			sz := uvarintLen(zigzag(int64(adj[0]) - int64(v)))
+			for i := 1; i < len(adj); i++ {
+				sz += uvarintLen(uint64(int64(adj[i]) - int64(adj[i-1])))
+			}
+			lens[v] = sz
+		}
+	})
+	coff := par.PrefixSum(lens)
+	buf := make([]byte, coff[n])
+	par.ForChunked(n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+			if len(adj) == 0 {
+				continue
+			}
+			row := buf[coff[v]:coff[v+1]]
+			p := putUvarint(row, zigzag(int64(adj[0])-int64(v)))
+			for i := 1; i < len(adj); i++ {
+				p += putUvarint(row[p:], uint64(int64(adj[i])-int64(adj[i-1])))
+			}
+		}
+	})
+	return coff, buf
+}
+
+// decodeAdjacency materializes the varint-compressed adjacency into a
+// heap neighbor array — the decoded view every kernel then runs on,
+// bit-identical to the heap-built graph. Rows decode in parallel
+// (coff makes them independently addressable); each row is checked to
+// consume exactly its bytes, produce exactly its degree, and yield
+// sorted in-range neighbors, so corrupt input returns an error rather
+// than a graph that would crash a kernel.
+func decodeAdjacency(n int, offsets, coff []int64, cadj []byte) ([]int32, error) {
+	if len(offsets) != n+1 || len(coff) != n+1 {
+		return nil, fmt.Errorf("container: offset arrays sized %d/%d, want %d", len(offsets), len(coff), n+1)
+	}
+	adj := make([]int32, offsets[n])
+	workers := par.Workers()
+	errs := make([]error, workers)
+	par.ForChunkedN(n, workers, func(w, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if err := decodeRow(int32(v), n, adj[offsets[v]:offsets[v+1]], cadj[coff[v]:coff[v+1]]); err != nil {
+				errs[w] = err
+				return
+			}
+		}
+	})
+	// Chunks cover vertex ranges in worker order, so the first
+	// non-nil error is the lowest-vertex one — deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return adj, nil
+}
+
+// decodeRow decodes one vertex's row into out.
+func decodeRow(v int32, n int, out []int32, row []byte) error {
+	pos := 0
+	prev := int64(-1)
+	for i := range out {
+		u, sz := uvarint(row[pos:])
+		if sz == 0 {
+			return fmt.Errorf("container: vertex %d: truncated varint at byte %d", v, pos)
+		}
+		pos += sz
+		var val int64
+		if i == 0 {
+			val = int64(v) + unzigzag(u)
+		} else {
+			val = prev + int64(u)
+		}
+		if val < prev || val < 0 || val >= int64(n) {
+			return fmt.Errorf("container: vertex %d: neighbor %d out of range", v, val)
+		}
+		out[i] = int32(val)
+		prev = val
+	}
+	if pos != len(row) {
+		return fmt.Errorf("container: vertex %d: %d trailing bytes", v, len(row)-pos)
+	}
+	return nil
+}

@@ -42,6 +42,11 @@ type Graph struct {
 
 	directed bool
 	numEdges int
+
+	// closer releases the resource backing the slice fields when they
+	// alias something with a lifetime — an mmap'd SNP2 container. Nil
+	// for ordinary heap-built graphs. See Close.
+	closer func() error
 }
 
 // NumVertices reports n, the number of vertices.

@@ -1,0 +1,107 @@
+package lebytes
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRoundTrip pins the byte encoding to little-endian (independent of
+// the host) and the conversions to exact inverses, including NaN
+// payloads and signed extremes.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1000
+
+	i64 := make([]int64, n)
+	for i := range i64 {
+		i64[i] = rng.Int63() - rng.Int63()
+	}
+	i64[0], i64[1] = math.MaxInt64, math.MinInt64
+	b := make([]byte, 8*n)
+	Int64sToBytes(b, i64)
+	for i, v := range i64 {
+		if got := int64(binary.LittleEndian.Uint64(b[i*8:])); got != v {
+			t.Fatalf("int64 LE encode [%d]: got %d want %d", i, got, v)
+		}
+	}
+	back64 := make([]int64, n)
+	BytesToInt64s(back64, b)
+	for i := range i64 {
+		if back64[i] != i64[i] {
+			t.Fatalf("int64 round trip [%d]: got %d want %d", i, back64[i], i64[i])
+		}
+	}
+
+	i32 := make([]int32, n)
+	for i := range i32 {
+		i32[i] = rng.Int31() - rng.Int31()
+	}
+	i32[0], i32[1] = math.MaxInt32, math.MinInt32
+	b = make([]byte, 4*n)
+	Int32sToBytes(b, i32)
+	for i, v := range i32 {
+		if got := int32(binary.LittleEndian.Uint32(b[i*4:])); got != v {
+			t.Fatalf("int32 LE encode [%d]: got %d want %d", i, got, v)
+		}
+	}
+	back32 := make([]int32, n)
+	BytesToInt32s(back32, b)
+	for i := range i32 {
+		if back32[i] != i32[i] {
+			t.Fatalf("int32 round trip [%d]: got %d want %d", i, back32[i], i32[i])
+		}
+	}
+
+	f64 := make([]float64, n)
+	for i := range f64 {
+		f64[i] = rng.NormFloat64()
+	}
+	f64[0] = math.Inf(1)
+	f64[1] = math.Float64frombits(0x7ff8_dead_beef_0001) // NaN payload
+	b = make([]byte, 8*n)
+	Float64sToBytes(b, f64)
+	backF := make([]float64, n)
+	BytesToFloat64s(backF, b)
+	for i := range f64 {
+		if math.Float64bits(backF[i]) != math.Float64bits(f64[i]) {
+			t.Fatalf("float64 round trip [%d]: bits %x want %x",
+				i, math.Float64bits(backF[i]), math.Float64bits(f64[i]))
+		}
+	}
+}
+
+// TestAlias checks the zero-copy casts view the same memory (a write
+// through the alias is visible in the bytes) and reject misaligned or
+// ragged input.
+func TestAlias(t *testing.T) {
+	raw := make([]byte, 64+8)
+	b := raw[:64]
+	if s, ok := AliasInt64s(b); ok {
+		s[0] = 0x0102030405060708
+		if binary.LittleEndian.Uint64(b) != 0x0102030405060708 {
+			t.Fatal("alias write not visible in bytes")
+		}
+		if len(s) != 8 {
+			t.Fatalf("alias length %d want 8", len(s))
+		}
+	}
+	if s, ok := AliasInt32s(b); ok && len(s) != 16 {
+		t.Fatalf("int32 alias length %d want 16", len(s))
+	}
+	if s, ok := AliasFloat64s(b); ok && len(s) != 8 {
+		t.Fatalf("float64 alias length %d want 8", len(s))
+	}
+	if _, ok := AliasInt64s(raw[:63]); ok {
+		t.Fatal("ragged alias accepted")
+	}
+	if aligned(raw, 8) {
+		if _, ok := AliasInt64s(raw[1 : 1+56]); ok {
+			t.Fatal("misaligned alias accepted")
+		}
+	}
+	if s, ok := AliasInt64s(nil); !ok || len(s) != 0 {
+		t.Fatal("empty alias should succeed with length 0")
+	}
+}

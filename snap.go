@@ -31,6 +31,7 @@ import (
 	"snap/internal/components"
 	"snap/internal/generate"
 	"snap/internal/graph"
+	"snap/internal/graph/container"
 	"snap/internal/metrics"
 	"snap/internal/partition"
 	"snap/internal/sssp"
@@ -89,11 +90,56 @@ func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 // WriteEdgeList writes the text edge-list interchange format.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
-// ReadBinary reads the compact binary CSR snapshot format.
+// ReadBinary reads the compact binary CSR snapshot format (SNP1).
 func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
-// WriteBinary writes the compact binary CSR snapshot format.
+// WriteBinary writes the compact binary CSR snapshot format (SNP1).
 func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ContainerOptions controls SNP2 container writes; Compress selects the
+// varint delta-encoded adjacency section (about half the raw
+// adjacency bytes, paid for by a parallel decode at load).
+type ContainerOptions = container.Options
+
+// MapLoadOptions controls SNP2 loads. ForceCopy materializes the graph
+// on the heap instead of aliasing the mapping; Validate runs the full
+// structural check after the O(n) header/offset validation that every
+// load performs.
+type MapLoadOptions = container.LoadOptions
+
+// WriteContainer writes g as an SNP2 binary CSR container, the
+// page-aligned format MapBinary loads without copying.
+func WriteContainer(path string, g *Graph, opt ContainerOptions) error {
+	return container.Save(path, g, opt)
+}
+
+// MapBinary memory-maps an SNP2 container: the returned graph's CSR
+// slices alias the read-only mapping, so loads are O(1) in allocations
+// and pages fault in on first touch. Call Close when done; a finalizer
+// backstops leaked graphs. Compressed containers decode their
+// adjacency onto the heap at load; the other sections still alias the
+// mapping.
+func MapBinary(path string) (*Graph, error) {
+	return container.Load(path, container.LoadOptions{})
+}
+
+// MapBinaryOptions is MapBinary with explicit load options.
+func MapBinaryOptions(path string, opt MapLoadOptions) (*Graph, error) {
+	return container.Load(path, opt)
+}
+
+// EncodeContainer writes the SNP2 byte stream to w (Save without the
+// file); DecodeContainer is its inverse over an in-memory image.
+func EncodeContainer(w io.Writer, g *Graph, opt ContainerOptions) error {
+	return container.Encode(w, g, opt)
+}
+
+// DecodeContainer parses an SNP2 image already in memory. The returned
+// graph aliases data unless opt.ForceCopy is set; data must stay live
+// and unmodified for the graph's lifetime.
+func DecodeContainer(data []byte, opt MapLoadOptions) (*Graph, error) {
+	return container.Decode(data, opt)
+}
 
 // Generators.
 

@@ -321,3 +321,42 @@ func TestFacadeLatestExtensions(t *testing.T) {
 		t.Fatalf("alpha = %g (%d samples)", alpha, cnt)
 	}
 }
+
+func TestFacadeContainer(t *testing.T) {
+	g := WattsStrogatz(128, 4, 0.1, 7)
+	dir := t.TempDir()
+	for _, compress := range []bool{false, true} {
+		p := dir + "/g.snp2"
+		if err := WriteContainer(p, g, ContainerOptions{Compress: compress}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := MapBinary(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumVertices() != g.NumVertices() || m.NumArcs() != g.NumArcs() {
+			t.Fatalf("mapped shape %v, want %v", m, g)
+		}
+		hb, mb := BFS(g, 0), BFS(m, 0)
+		for v := range hb.Dist {
+			if hb.Dist[v] != mb.Dist[v] {
+				t.Fatalf("mapped BFS differs at %d (compress=%v)", v, compress)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeContainer(&buf, g, ContainerOptions{Compress: compress}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := DecodeContainer(buf.Bytes(), MapLoadOptions{Validate: true})
+		if err != nil || d.NumArcs() != g.NumArcs() {
+			t.Fatalf("decode (compress=%v): %v", compress, err)
+		}
+		v, err := MapBinaryOptions(p, MapLoadOptions{ForceCopy: true, Validate: true})
+		if err != nil || v.NumArcs() != g.NumArcs() {
+			t.Fatalf("forced-copy load (compress=%v): %v", compress, err)
+		}
+	}
+}

@@ -27,6 +27,7 @@ func main() {
 		figure  = flag.String("figure", "", "figure to regenerate: 2, 3a, or 3b")
 		ablate  = flag.Bool("ablations", false, "run the design-choice ablations")
 		loads   = flag.Bool("loads", false, "measure the graph ingest paths (text vs SNP1 vs SNP2)")
+		ingest  = flag.Bool("ingest", false, "measure snapshot-epoch streaming commits and incremental kernels")
 		all     = flag.Bool("all", false, "run every experiment in paper order")
 		scale   = flag.Float64("scale", 0.1, "instance scale relative to the paper (1 = full size)")
 		k       = flag.Int("k", 32, "part count for Table 1")
@@ -95,6 +96,10 @@ func main() {
 	}
 	if *loads {
 		bench.Loads(cfg)
+		ran = true
+	}
+	if *ingest {
+		bench.Ingest(cfg)
 		ran = true
 	}
 	if !ran {

@@ -1,7 +1,10 @@
 // Streaming: the paper's motivating scenario — interaction data
-// arriving as a transient stream, assimilated into a dynamic graph and
-// analyzed online: connectivity is tracked incrementally per batch,
-// and a CSR snapshot is frozen periodically for the heavier kernels.
+// arriving as a transient stream, assimilated into snapshot epochs and
+// analyzed online. Each batch of edge events is buffered in a Stream
+// and committed into a fresh immutable CSR epoch; readers pin epochs
+// lock-free while the maintained kernels (incremental connectivity,
+// warm-started PageRank) answer per batch without recomputing from
+// scratch. A final pinned epoch feeds the heavier exploratory kernels.
 //
 //	go run ./examples/streaming
 package main
@@ -18,7 +21,8 @@ func main() {
 	const batches = 10
 	const perBatch = 2000
 
-	// The "wire": a skewed interaction stream (a few hot entities).
+	// The "wire": a skewed interaction stream (a few hot entities),
+	// with a trickle of retractions.
 	rng := rand.New(rand.NewSource(42))
 	endpoint := func() int32 {
 		if rng.Intn(10) < 3 {
@@ -27,42 +31,61 @@ func main() {
 		return int32(rng.Intn(n))
 	}
 
-	dyn := snap.NewDynamic(n, false)
-	conn := snap.NewIncrementalConnectivity(n)
+	s, err := snap.NewEmptyStream(n, false, false, snap.StreamOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
 
 	fmt.Printf("%8s %10s %12s %14s %16s\n",
-		"batch", "edges", "components", "largest (%)", "hub degree")
+		"batch", "edges", "components", "largest (%)", "top PageRank")
+	var recent []snap.Edge
 	for b := 1; b <= batches; b++ {
 		for i := 0; i < perBatch; i++ {
 			u, v := endpoint(), endpoint()
 			if u == v {
 				continue
 			}
-			if added, err := dyn.AddEdge(u, v); err == nil && added {
-				conn.AddEdge(u, v)
+			if err := s.Add(u, v); err != nil {
+				panic(err)
+			}
+			recent = append(recent, snap.Edge{U: u, V: v})
+		}
+		// Occasionally retract a handful of earlier interactions.
+		for i := 0; i < 20 && len(recent) > 0; i++ {
+			e := recent[rng.Intn(len(recent))]
+			if err := s.Delete(e.U, e.V); err != nil {
+				panic(err)
 			}
 		}
-		lab := conn.Labeling()
+		if _, err := s.Commit(); err != nil {
+			panic(err)
+		}
+
+		// Maintained kernels: connectivity rides the union-find fast
+		// path, PageRank warm-starts from the previous epoch's scores.
+		lab := s.Components()
 		_, largest := lab.Largest()
-		// The treap-backed dynamic graph answers degree queries on the
-		// hot vertices without scanning.
-		hubDeg := 0
-		for v := int32(0); v < 50; v++ {
-			if d := dyn.Degree(v); d > hubDeg {
-				hubDeg = d
-			}
-		}
-		fmt.Printf("%8d %10d %12d %13.1f%% %16d\n",
-			b, dyn.NumEdges(), conn.Components(),
-			100*float64(largest)/float64(n), hubDeg)
+		pr := s.PageRank(snap.PageRankOptions{})
+		top := snap.TopKVertices(pr, 1)
+
+		e := s.Pin()
+		fmt.Printf("%8d %10d %12d %13.1f%% %13d\n",
+			b, e.Graph().NumEdges(), lab.Count,
+			100*float64(largest)/float64(n), top[0])
+		e.Close()
 	}
 
-	// Freeze a snapshot for the heavy exploratory kernels.
-	g := snap.FromDynamic(dyn)
-	fmt.Printf("\nsnapshot: %v\n", g)
+	// Pin the final epoch for the heavy exploratory kernels: the
+	// snapshot is immutable, so it stays valid even if the stream keeps
+	// committing behind it.
+	e := s.Pin()
+	defer e.Close()
+	g := e.Graph()
+	fmt.Printf("\nsnapshot (epoch %d): %v\n", e.Seq(), g)
 	st := snap.Degrees(g)
 	fmt.Printf("degrees: max %d, mean %.2f\n", st.Max, st.Mean)
-	pr := snap.PageRank(g, snap.PageRankOptions{})
+	pr := s.PageRank(snap.PageRankOptions{})
 	top := snap.TopKVertices(pr, 5)
 	fmt.Println("most influential entities (PageRank):")
 	for rank, v := range top {

@@ -224,5 +224,6 @@ func All(cfg Config) {
 	Figure3b(cfg)
 	Ablations(cfg)
 	Loads(cfg)
+	Ingest(cfg)
 	fmt.Fprintf(cfg.Out, "total harness time: %.1fs\n", time.Since(start).Seconds())
 }

@@ -1,0 +1,145 @@
+package centrality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+func l1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+func perturb(t *testing.T, g *graph.Graph, rng *rand.Rand, nAdd, nDel int) (*graph.Graph, []int32) {
+	t.Helper()
+	n := int32(g.NumVertices())
+	var add, del []graph.Edge
+	for i := 0; i < nAdd; i++ {
+		add = append(add, graph.Edge{U: rng.Int31n(n), V: rng.Int31n(n)})
+	}
+	ends := g.EdgeEndpoints()
+	for i := 0; i < nDel && len(ends) > 0; i++ {
+		del = append(del, ends[rng.Intn(len(ends))])
+	}
+	out, err := graph.MergeDelta(g, add, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seeds []int32
+	for _, e := range append(append([]graph.Edge{}, add...), del...) {
+		seeds = append(seeds, e.U, e.V)
+	}
+	return out, seeds
+}
+
+func TestPageRankDeltaMatchesFull(t *testing.T) {
+	g := generate.RMAT(1<<11, 8<<11, generate.DefaultRMAT(), 5)
+	opt := PageRankOptions{Tolerance: 1e-10}
+	prev := PageRank(g, opt)
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 4; step++ {
+		g2, seeds := perturb(t, g, rng, 40, 20)
+		full := PageRank(g2, opt)
+		inc := PageRankDelta(g2, prev, seeds, opt)
+		if d := l1(inc, full); d > 1e-6 {
+			t.Fatalf("step %d: L1(inc, full) = %g", step, d)
+		}
+		// Scores must be a distribution.
+		var sum float64
+		for _, v := range inc {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("step %d: sum = %g", step, sum)
+		}
+		g, prev = g2, inc
+	}
+}
+
+func TestPageRankDeltaDeterministic(t *testing.T) {
+	g := generate.ErdosRenyi(800, 3200, 3)
+	opt := PageRankOptions{}
+	prev := PageRank(g, opt)
+	rng := rand.New(rand.NewSource(4))
+	g2, seeds := perturb(t, g, rng, 25, 10)
+	var ref []float64
+	for _, w := range []int{1, 2, 3, 8} {
+		o := opt
+		o.Workers = w
+		got := PageRankDelta(g2, prev, seeds, o)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: score[%d] differs: %g vs %g", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPageRankDeltaFallbacks(t *testing.T) {
+	g := generate.ErdosRenyi(300, 900, 7)
+	opt := PageRankOptions{}
+	full := PageRank(g, opt)
+
+	// nil / wrong-length / degenerate prev fall back to a cold start.
+	for _, prev := range [][]float64{nil, make([]float64, 10), make([]float64, 300)} {
+		got := PageRankDelta(g, prev, []int32{1, 2}, opt)
+		if d := l1(got, full); d > 1e-6 {
+			t.Fatalf("fallback L1 = %g", d)
+		}
+	}
+
+	// Directed graphs route to PageRankDirected.
+	dg := graph.MustBuild(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 0}},
+		graph.BuildOptions{Directed: true})
+	want := PageRankDirected(dg, opt)
+	got := PageRankDelta(dg, want, []int32{0}, opt)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("directed fallback differs at %d", i)
+		}
+	}
+}
+
+func TestPageRankDeltaDanglingVertices(t *testing.T) {
+	// Vertices 8..11 are isolated (dangling under the undirected kernel).
+	var edges []graph.Edge
+	for i := int32(0); i < 8; i++ {
+		edges = append(edges, graph.Edge{U: i, V: (i + 1) % 8})
+	}
+	g := graph.MustBuild(12, edges, graph.BuildOptions{})
+	opt := PageRankOptions{}
+	prev := PageRank(g, opt)
+	g2, err := graph.MergeDelta(g, []graph.Edge{{U: 8, V: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := PageRank(g2, opt)
+	inc := PageRankDelta(g2, prev, []int32{8, 0}, opt)
+	if d := l1(inc, full); d > 1e-6 {
+		t.Fatalf("dangling L1 = %g", d)
+	}
+}
+
+func TestPageRankFromWarmStart(t *testing.T) {
+	g := generate.RMAT(1<<10, 8<<10, generate.DefaultRMAT(), 9)
+	opt := PageRankOptions{}
+	full := PageRank(g, opt)
+	warm := PageRankFrom(g, full, opt)
+	if d := l1(warm, full); d > 1e-8 {
+		t.Fatalf("warm restart moved scores by %g", d)
+	}
+	if got := PageRankFrom(g, nil, opt); l1(got, full) > 1e-6 {
+		t.Fatal("nil prev must fall back to cold start")
+	}
+}

@@ -47,11 +47,24 @@ func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
 		return nil
 	}
 	rank := make([]float64, n)
-	next := make([]float64, n)
 	inv := 1 / float64(n)
 	for i := range rank {
 		rank[i] = inv
 	}
+	return pageRankPower(g, rank, opt)
+}
+
+// pageRankPower runs the undirected power iteration to convergence
+// from an arbitrary starting vector (rank is consumed; the returned
+// slice holds the result). The warm-start entry behind PageRank,
+// PageRankFrom, and the residual-push polish: iteration count depends
+// only on the distance between the start vector and the fixpoint, so a
+// vector carried over from the previous snapshot epoch converges in a
+// handful of sweeps. Deterministic at any worker count (each vertex's
+// sum is accumulated serially in arc order).
+func pageRankPower(g *graph.Graph, rank []float64, opt PageRankOptions) []float64 {
+	n := g.NumVertices()
+	next := make([]float64, n)
 	// share[v] = rank[v]/outdeg(v), computed per iteration.
 	share := make([]float64, n)
 	for it := 0; it < opt.MaxIterations; it++ {

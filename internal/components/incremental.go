@@ -1,11 +1,14 @@
 package components
 
+import "snap/internal/graph"
+
 // Incremental connectivity for dynamic networks — the paper's stated
 // future-work direction ("extend SNAP to support the topological
 // analysis of dynamic networks"). Edge insertions are processed online
-// in near-constant amortized time; paired with graph.Dynamic it
-// supports streaming connectivity queries over assimilated interaction
-// data without recomputing components from scratch.
+// in near-constant amortized time; it is the insert fast path of the
+// snapshot-epoch dynamic-components kernel in internal/ingest, which
+// falls back to an epoch-scoped BFS recompute only when a committed
+// deletion might split a component.
 
 // Incremental maintains connected components of a growing graph.
 type Incremental struct {
@@ -31,6 +34,20 @@ func (inc *Incremental) AddEdge(u, v int32) bool {
 	return false
 }
 
+// AddEdges records a batch of edges, returning the number of component
+// merges it caused. Self-loops in the batch are harmless no-ops for
+// connectivity (they never merge) but still count as processed
+// insertions.
+func (inc *Incremental) AddEdges(edges []graph.Edge) int {
+	merged := 0
+	for _, e := range edges {
+		if inc.AddEdge(e.U, e.V) {
+			merged++
+		}
+	}
+	return merged
+}
+
 // Connected reports whether u and v are currently in one component.
 func (inc *Incremental) Connected(u, v int32) bool {
 	return inc.uf.Find(u) == inc.uf.Find(v)
@@ -39,9 +56,35 @@ func (inc *Incremental) Connected(u, v int32) bool {
 // Components reports the current number of connected components.
 func (inc *Incremental) Components() int { return inc.comps }
 
-// Edges reports the number of insertions processed (including
-// redundant ones).
+// Edges reports the number of AddEdge operations processed — an
+// operation count, not a distinct-edge count: redundant insertions of
+// an already-connected pair and duplicate insertions of the same pair
+// each increment it, so it can exceed the number of distinct edges in
+// the underlying graph.
 func (inc *Incremental) Edges() int { return inc.edges }
 
 // Labeling materializes the current component labeling.
 func (inc *Incremental) Labeling() Labeling { return inc.uf.Labeling() }
+
+// IncrementalFromLabeling seeds an incremental connectivity index from
+// an existing component labeling: vertices labeled together start in
+// one set. The ingest layer uses this to resume the union-find insert
+// fast path right after an epoch-scoped recompute instead of replaying
+// the whole edge set.
+func IncrementalFromLabeling(lab Labeling) *Incremental {
+	n := len(lab.Comp)
+	inc := &Incremental{uf: NewUnionFind(n), comps: lab.Count}
+	rep := make([]int32, lab.Count)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v, c := range lab.Comp {
+		if rep[c] < 0 {
+			rep[c] = int32(v)
+			inc.uf.rank[v] = 1
+			continue
+		}
+		inc.uf.parent[v] = rep[c]
+	}
+	return inc
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"snap/internal/generate"
+	"snap/internal/graph"
 )
 
 func TestIncrementalBasics(t *testing.T) {
@@ -61,5 +62,54 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	batch := Connected(g, nil)
 	if lab.Count != batch.Count {
 		t.Fatalf("final labeling: %d vs %d", lab.Count, batch.Count)
+	}
+}
+
+func TestIncrementalAddEdges(t *testing.T) {
+	inc := NewIncremental(6)
+	merged := inc.AddEdges([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 0}, // duplicate: one merge
+		{U: 2, V: 3}, {U: 3, V: 4},
+		{U: 5, V: 5}, // self-loop: processed, never merges
+	})
+	if merged != 3 {
+		t.Fatalf("merged = %d, want 3", merged)
+	}
+	if inc.Components() != 3 { // {0,1}, {2,3,4}, {5}
+		t.Fatalf("components = %d, want 3", inc.Components())
+	}
+	if inc.Edges() != 5 { // operation count, not distinct edges
+		t.Fatalf("edges = %d, want 5", inc.Edges())
+	}
+}
+
+func TestIncrementalFromLabeling(t *testing.T) {
+	g := generate.ErdosRenyi(400, 500, 11)
+	lab := Connected(g, nil)
+	inc := IncrementalFromLabeling(lab)
+	if inc.Components() != lab.Count {
+		t.Fatalf("components = %d, want %d", inc.Components(), lab.Count)
+	}
+	got := inc.Labeling()
+	for v := range got.Comp {
+		if got.Comp[v] != lab.Comp[v] {
+			t.Fatalf("label mismatch at %d: %d vs %d", v, got.Comp[v], lab.Comp[v])
+		}
+	}
+	// Resumed index must keep merging correctly.
+	var u, v int32 = -1, -1
+	for x := int32(1); int(x) < len(lab.Comp); x++ {
+		if lab.Comp[x] != lab.Comp[0] {
+			u, v = 0, x
+			break
+		}
+	}
+	if u >= 0 {
+		if !inc.AddEdge(u, v) {
+			t.Fatal("cross-component insert must merge")
+		}
+		if inc.Components() != lab.Count-1 || !inc.Connected(u, v) {
+			t.Fatal("merge after resume not reflected")
+		}
 	}
 }

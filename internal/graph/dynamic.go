@@ -166,9 +166,17 @@ func (d *Dynamic) EachNeighbor(v int32, f func(u int32)) {
 	}
 }
 
-// ToCSR freezes the dynamic graph into an immutable CSR graph.
-func (d *Dynamic) ToCSR() *Graph {
-	var edges []Edge
+// ToCSR freezes the dynamic graph into an immutable CSR graph. The
+// edge list is preallocated from NumEdges(), and internal Build
+// failures surface as errors instead of panics.
+//
+// For sustained update/snapshot workloads prefer ingest.Stream, which
+// merges batched deltas against the previous snapshot instead of
+// re-materializing the whole edge list; Dynamic remains the
+// point-update compatibility structure from the paper's hybrid
+// array/treap representation.
+func (d *Dynamic) ToCSR() (*Graph, error) {
+	edges := make([]Edge, 0, d.NumEdges())
 	n := int32(d.NumVertices())
 	for u := int32(0); u < n; u++ {
 		d.EachNeighbor(u, func(v int32) {
@@ -179,22 +187,22 @@ func (d *Dynamic) ToCSR() *Graph {
 	}
 	g, err := Build(int(n), edges, BuildOptions{Directed: d.directed})
 	if err != nil {
-		panic("graph: ToCSR: " + err.Error())
+		return nil, fmt.Errorf("graph: ToCSR: %w", err)
 	}
-	return g
+	return g, nil
 }
 
 // FromCSR thaws a CSR graph into a dynamic graph.
-func FromCSR(g *Graph) *Dynamic {
+func FromCSR(g *Graph) (*Dynamic, error) {
 	d := NewDynamic(g.NumVertices(), g.Directed())
 	for u := int32(0); u < int32(g.NumVertices()); u++ {
 		for _, v := range g.Neighbors(u) {
 			if g.Directed() || u < v {
 				if _, err := d.AddEdge(u, v); err != nil {
-					panic("graph: FromCSR: " + err.Error())
+					return nil, fmt.Errorf("graph: FromCSR: %w", err)
 				}
 			}
 		}
 	}
-	return d
+	return d, nil
 }

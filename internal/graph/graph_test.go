@@ -342,14 +342,20 @@ func TestDynamicCSRRoundTrip(t *testing.T) {
 			d.AddEdge(u, v)
 		}
 	}
-	g := d.ToCSR()
+	g, err := d.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := Validate(g); err != nil {
 		t.Fatal(err)
 	}
 	if g.NumEdges() != d.NumEdges() {
 		t.Fatalf("edges: csr=%d dyn=%d", g.NumEdges(), d.NumEdges())
 	}
-	d2 := FromCSR(g)
+	d2, err := FromCSR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d2.NumEdges() != g.NumEdges() {
 		t.Fatalf("thaw edges: %d vs %d", d2.NumEdges(), g.NumEdges())
 	}

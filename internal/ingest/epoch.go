@@ -1,0 +1,66 @@
+package ingest
+
+import (
+	"sync/atomic"
+
+	"snap/internal/graph"
+)
+
+// Epoch is one immutable published snapshot of a Stream: a CSR graph
+// plus a commit sequence number, lifetime-managed by a reference count.
+// The stream holds one reference for the current epoch; every
+// successful Pin takes another. When the last reference drops — the
+// stream has moved on and all readers have closed — the underlying
+// graph's Close runs, releasing any mmap'd container backing it (a
+// no-op for heap-built graphs, exactly the PR-6 lifetime discipline).
+//
+// An Epoch's graph is immutable and safe for any number of concurrent
+// readers; all parallel kernels in the tree run on it unchanged.
+type Epoch struct {
+	g    *graph.Graph
+	seq  uint64
+	refs atomic.Int32
+}
+
+func newEpoch(g *graph.Graph, seq uint64) *Epoch {
+	e := &Epoch{g: g, seq: seq}
+	e.refs.Store(1) // the stream's own reference
+	return e
+}
+
+// Graph returns the epoch's immutable CSR snapshot. Valid until the
+// pin that produced this epoch is closed.
+func (e *Epoch) Graph() *graph.Graph { return e.g }
+
+// Seq returns the commit sequence number (0 is the stream's initial
+// snapshot; each commit increments it).
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// retain takes a reference iff the epoch is still live. The
+// strong-try-retain CAS refuses to resurrect an epoch whose count
+// already hit zero — a racing Pin simply reloads the stream's current
+// pointer and retries on the newer epoch.
+func (e *Epoch) retain() bool {
+	for {
+		r := e.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Close releases one reference — call it exactly once per successful
+// Pin (the stream releases its own reference internally). When the
+// count reaches zero the snapshot's backing resource is released and
+// the epoch's graph must not be touched again.
+func (e *Epoch) Close() {
+	switch r := e.refs.Add(-1); {
+	case r == 0:
+		e.g.Close()
+	case r < 0:
+		panic("ingest: epoch closed more times than pinned")
+	}
+}

@@ -1,0 +1,288 @@
+package ingest
+
+import (
+	"sync"
+
+	"snap/internal/centrality"
+	"snap/internal/community"
+	"snap/internal/components"
+	"snap/internal/frontier"
+	"snap/internal/graph"
+)
+
+// kernelState carries the incrementally-maintained analytics of a
+// Stream across epochs. Each kernel has its own lock so a slow query
+// on one never blocks the others; commits touch this state only under
+// short bookkeeping sections (the connected-components update is the
+// longest, and it only pays a BFS when a real deletion might split a
+// component). None of it blocks Pin, which stays lock-free.
+type kernelState struct {
+	// Connected components: a union-find tracker kept in lockstep with
+	// the published epoch. Inserts union in near-constant amortized
+	// time; a deletion forces an epoch-scoped split check (BFS over
+	// the suspect components on the new snapshot) and only a detected
+	// split discards the tracker for a lazy full recompute. ccMu is
+	// held across the epoch pointer swap so the tracker and the
+	// current epoch can never be observed out of sync.
+	ccMu  sync.Mutex
+	cc    *components.Incremental
+	ccSeq uint64
+
+	// PageRank: scores of epoch prSeq plus the seed vertices dirtied
+	// by commits since. Batches are tagged with the epoch they lead
+	// to, so a query pinned to epoch k consumes exactly the batches
+	// with seq <= k and leaves in-flight newer ones. prMu serializes
+	// the (long) computation; prDirtyMu guards only the cheap
+	// commit-side append.
+	prMu       sync.Mutex
+	prScores   []float64
+	prSeq      uint64
+	prHave     bool
+	prDirtyMu  sync.Mutex
+	prTracking bool
+	prDirty    []dirtyBatch
+	prBuffered int
+
+	// Louvain: the previous epoch's partition, used to warm-start the
+	// move engine on the next query.
+	cmMu     sync.Mutex
+	cmAssign []int32
+	cmCount  int
+	cmQ      float64
+	cmSeq    uint64
+	cmHave   bool
+}
+
+type dirtyBatch struct {
+	seq   uint64
+	seeds []int32
+	// overflow marks a batch whose seeds were dropped because the
+	// buffer outgrew the vertex set — the consumer falls back to a
+	// warm full iteration instead of a push.
+	overflow bool
+}
+
+// publishCommit performs incremental-kernel bookkeeping for one commit
+// and publishes the new epoch. Called with the stream mutex held; add
+// and realDel are the deduped applied delta (realDel only pairs that
+// existed in the superseded snapshot).
+func (k *kernelState) publishCommit(s *Stream, old, e *Epoch, add, realDel []graph.Edge) {
+	k.prDirtyMu.Lock()
+	if k.prTracking {
+		b := dirtyBatch{seq: e.seq}
+		if want := 2 * (len(add) + len(realDel)); k.prBuffered+want > s.n {
+			b.overflow = true
+		} else {
+			b.seeds = make([]int32, 0, 2*(len(add)+len(realDel)))
+			for _, ed := range add {
+				b.seeds = append(b.seeds, ed.U, ed.V)
+			}
+			for _, ed := range realDel {
+				b.seeds = append(b.seeds, ed.U, ed.V)
+			}
+			k.prBuffered += len(b.seeds)
+		}
+		k.prDirty = append(k.prDirty, b)
+	}
+	k.prDirtyMu.Unlock()
+
+	k.ccMu.Lock()
+	if k.cc != nil && k.ccSeq == old.seq {
+		switch {
+		case s.directed && len(realDel) > 0:
+			// Out-adjacency BFS cannot verify weak connectivity;
+			// deletions on directed streams drop to a lazy recompute.
+			k.cc = nil
+		case len(realDel) > 0:
+			k.cc.AddEdges(add)
+			if splitsComponent(e.g, realDel) {
+				k.cc = nil
+			} else {
+				k.ccSeq = e.seq
+			}
+		default:
+			k.cc.AddEdges(add)
+			k.ccSeq = e.seq
+		}
+	} else {
+		k.cc = nil // tracker missed a commit; rebuild lazily
+	}
+	s.cur.Store(e)
+	k.ccMu.Unlock()
+	old.Close()
+}
+
+// splitsComponent reports whether deleting the given (previously
+// existing) edges disconnected any of their endpoints on the new
+// snapshot. If every deleted edge's endpoints remain connected, every
+// old path is repairable and the component structure is unchanged —
+// the union-find tracker stays exact. The check BFSes each suspect
+// component at most once, labeling progressively: a BFS from an
+// unlabeled vertex stamps its entire component, so two vertices are
+// connected iff they end up with the same label.
+func splitsComponent(g *graph.Graph, del []graph.Edge) bool {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	eng := frontier.AcquireEngine(n)
+	defer frontier.ReleaseEngine(eng)
+	var next int32
+	for _, e := range del {
+		if comp[e.U] < 0 {
+			eng.Run(g, e.U, nil, -1)
+			for _, v := range eng.Order() {
+				comp[v] = next
+			}
+			next++
+		}
+		if comp[e.U] != comp[e.V] {
+			return true
+		}
+	}
+	return false
+}
+
+// Components returns the connected components of the current epoch
+// (weak components on directed streams), maintained incrementally: an
+// insert-only commit history is tracked by union-find without touching
+// the snapshot, and only component-splitting deletions pay a
+// recompute. The labeling is identical to components.Connected on the
+// pinned snapshot (dense ids in smallest-member order).
+func (s *Stream) Components() components.Labeling {
+	k := &s.kernels
+	k.ccMu.Lock()
+	defer k.ccMu.Unlock()
+	e := s.Pin()
+	if e == nil {
+		return components.Labeling{}
+	}
+	defer e.Close()
+	if k.cc == nil || k.ccSeq != e.seq {
+		lab := components.Connected(e.g, nil)
+		k.cc = components.IncrementalFromLabeling(lab)
+		k.ccSeq = e.seq
+		return lab
+	}
+	return k.cc.Labeling()
+}
+
+// ConnectedQuery answers one connectivity question against the
+// maintained tracker without materializing a labeling.
+func (s *Stream) ConnectedQuery(u, v int32) (bool, error) {
+	if err := s.check(u, v); err != nil {
+		return false, err
+	}
+	k := &s.kernels
+	k.ccMu.Lock()
+	defer k.ccMu.Unlock()
+	e := s.Pin()
+	if e == nil {
+		return false, nil
+	}
+	defer e.Close()
+	if k.cc == nil || k.ccSeq != e.seq {
+		k.cc = components.IncrementalFromLabeling(components.Connected(e.g, nil))
+		k.ccSeq = e.seq
+	}
+	return k.cc.Connected(u, v), nil
+}
+
+// PageRank returns the PageRank scores of the current epoch,
+// maintained incrementally: the first call pays a full power
+// iteration, and later calls start from the previous epoch's scores —
+// a residual push around the dirtied vertices when the accumulated
+// delta is small (under a quarter of the vertex set), a warm power
+// iteration otherwise. Results satisfy the same tolerance as
+// centrality.PageRank on the pinned snapshot and are deterministic at
+// any worker count. The returned slice is the caller's to keep.
+func (s *Stream) PageRank(opt centrality.PageRankOptions) []float64 {
+	k := &s.kernels
+	k.prMu.Lock()
+	defer k.prMu.Unlock()
+
+	// Start tracking before pinning: a commit racing with this compute
+	// lands a seq-tagged batch we will consume on the next call.
+	k.prDirtyMu.Lock()
+	k.prTracking = true
+	k.prDirtyMu.Unlock()
+
+	e := s.Pin()
+	if e == nil {
+		return nil
+	}
+	defer e.Close()
+
+	k.prDirtyMu.Lock()
+	var seeds []int32
+	overflow := false
+	rest := k.prDirty[:0]
+	for _, b := range k.prDirty {
+		if b.seq <= e.seq {
+			overflow = overflow || b.overflow
+			seeds = append(seeds, b.seeds...)
+			k.prBuffered -= len(b.seeds)
+		} else {
+			rest = append(rest, b)
+		}
+	}
+	k.prDirty = rest
+	k.prDirtyMu.Unlock()
+
+	if k.prHave && k.prSeq == e.seq && len(seeds) == 0 && !overflow {
+		return append([]float64(nil), k.prScores...)
+	}
+	var prev []float64
+	if k.prHave && k.prSeq <= e.seq {
+		prev = k.prScores
+	}
+	var scores []float64
+	switch {
+	case prev == nil:
+		scores = centrality.PageRankDelta(e.g, nil, nil, opt) // cold start
+	case overflow || 4*len(seeds) > s.n:
+		scores = centrality.PageRankFrom(e.g, prev, opt) // large delta: warm full iteration
+	default:
+		scores = centrality.PageRankDelta(e.g, prev, seeds, opt)
+	}
+	k.prScores = scores
+	k.prSeq = e.seq
+	k.prHave = true
+	return append([]float64(nil), scores...)
+}
+
+// Communities returns a Louvain clustering of the current epoch,
+// warm-started from the partition of the previous call: the move
+// engine re-seeds from the previous epoch's communities, so it pays
+// only for the vertices the delta dislodged, and the returned Q never
+// falls below the carried-over partition's. opt.InitialAssign is
+// overwritten by the maintained warm seed.
+func (s *Stream) Communities(opt community.LouvainOptions) community.Clustering {
+	k := &s.kernels
+	k.cmMu.Lock()
+	defer k.cmMu.Unlock()
+	e := s.Pin()
+	if e == nil {
+		return community.Clustering{}
+	}
+	defer e.Close()
+	if k.cmHave && k.cmSeq == e.seq {
+		return community.Clustering{
+			Assign: append([]int32(nil), k.cmAssign...),
+			Count:  k.cmCount,
+			Q:      k.cmQ,
+		}
+	}
+	if k.cmHave && len(k.cmAssign) == s.n {
+		opt.InitialAssign = k.cmAssign
+	} else {
+		opt.InitialAssign = nil
+	}
+	c := community.Louvain(e.g, opt)
+	k.cmAssign = append(k.cmAssign[:0], c.Assign...)
+	k.cmCount, k.cmQ = c.Count, c.Q
+	k.cmSeq = e.seq
+	k.cmHave = true
+	return c
+}

@@ -32,6 +32,7 @@ import (
 	"snap/internal/generate"
 	"snap/internal/graph"
 	"snap/internal/graph/container"
+	"snap/internal/ingest"
 	"snap/internal/metrics"
 	"snap/internal/partition"
 	"snap/internal/sssp"
@@ -65,7 +66,7 @@ func Build(n int, edges []Edge, opt BuildOptions) (*Graph, error) {
 func NewDynamic(n int, directed bool) *Dynamic { return graph.NewDynamic(n, directed) }
 
 // FromDynamic freezes a dynamic graph into CSR form.
-func FromDynamic(d *Dynamic) *Graph { return d.ToCSR() }
+func FromDynamic(d *Dynamic) (*Graph, error) { return d.ToCSR() }
 
 // Undirected returns g or its symmetrized copy when g is directed.
 // Symmetrization merges each vertex's out- and in-adjacency runs
@@ -603,3 +604,57 @@ func PowerLawAlpha(g *Graph, dmin int) (float64, int) {
 
 // Diameter computes the exact diameter of the largest component (iFUB).
 func Diameter(g *Graph) int { return metrics.Diameter(g) }
+
+// Snapshot-epoch streaming ingest (the paper's dynamic-network
+// direction, rebuilt on immutable CSR epochs).
+
+// Stream buffers edge insertions and deletions against the current
+// snapshot and, on Commit, merges them into a fresh immutable Graph
+// published as a new Epoch. Readers pin epochs lock-free and never
+// block behind writers; maintained kernels (Components, PageRank,
+// Communities) answer from incremental state instead of recomputing.
+type Stream = ingest.Stream
+
+// StreamOptions configures a Stream (auto-commit threshold, merge
+// worker count).
+type StreamOptions = ingest.Options
+
+// Epoch is one pinned immutable snapshot of a Stream; Close releases
+// it. The underlying Graph stays valid until every pin is closed.
+type Epoch = ingest.Epoch
+
+// CommitStats summarizes one committed delta.
+type CommitStats = ingest.CommitStats
+
+// NewStream starts a snapshot-epoch stream seeded with g. The stream
+// takes ownership of g: it is closed when its epoch is superseded and
+// unpinned, so pass a graph the caller no longer uses directly.
+func NewStream(g *Graph, opt StreamOptions) *Stream { return ingest.New(g, opt) }
+
+// NewEmptyStream starts a stream over n isolated vertices.
+func NewEmptyStream(n int, directed, weighted bool, opt StreamOptions) (*Stream, error) {
+	return ingest.NewEmpty(n, directed, weighted, opt)
+}
+
+// MergeDelta applies a batch of deletions and insertions to an
+// immutable CSR snapshot, returning a fresh Graph bit-identical to
+// rebuilding from the updated edge list; g is unmodified. The kernel
+// behind Stream.Commit, usable standalone for one-shot updates.
+func MergeDelta(g *Graph, add, del []Edge) (*Graph, error) {
+	return graph.MergeDelta(g, add, del)
+}
+
+// PageRankFrom computes PageRank warm-started from a previous score
+// vector (for example the previous epoch's), converging in the few
+// sweeps the carried-over vector is away from the new fixpoint.
+func PageRankFrom(g *Graph, prev []float64, opt PageRankOptions) []float64 {
+	return centrality.PageRankFrom(g, prev, opt)
+}
+
+// PageRankDelta computes PageRank incrementally from the previous
+// epoch's scores given the vertices whose adjacency changed: a
+// residual push localizes the correction, and a warm polish certifies
+// the usual tolerance.
+func PageRankDelta(g *Graph, prev []float64, seeds []int32, opt PageRankOptions) []float64 {
+	return centrality.PageRankDelta(g, prev, seeds, opt)
+}

@@ -163,7 +163,10 @@ func TestFacadeDynamic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := FromDynamic(d)
+	g, err := FromDynamic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.NumEdges() != 9 || g.Degree(0) != 9 {
 		t.Fatalf("dynamic freeze wrong: %v", g)
 	}
@@ -358,5 +361,67 @@ func TestFacadeContainer(t *testing.T) {
 		if err != nil || v.NumArcs() != g.NumArcs() {
 			t.Fatalf("forced-copy load (compress=%v): %v", compress, err)
 		}
+	}
+}
+
+func TestFacadeStream(t *testing.T) {
+	g := WattsStrogatz(200, 4, 0.1, 3)
+	s := NewStream(g, StreamOptions{})
+	defer s.Close()
+	if err := s.Add(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 1 || stats.Deleted != 1 {
+		t.Fatalf("stats = %+v, want 1 add / 1 delete", stats)
+	}
+	e := s.Pin()
+	defer e.Close()
+	if !e.Graph().HasEdge(0, 100) || e.Graph().HasEdge(0, 1) {
+		t.Fatal("epoch graph missing the committed delta")
+	}
+
+	// Standalone delta merge agrees with the stream commit.
+	merged, err := MergeDelta(g, []Edge{{U: 0, V: 100}}, []Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumEdges() != e.Graph().NumEdges() {
+		t.Fatalf("MergeDelta edges %d, epoch edges %d", merged.NumEdges(), e.Graph().NumEdges())
+	}
+
+	// Incremental PageRank entry points agree with the cold path.
+	opt := PageRankOptions{}
+	full := PageRank(e.Graph(), opt)
+	warm := PageRankFrom(e.Graph(), full, opt)
+	inc := PageRankDelta(e.Graph(), full, []int32{0, 1, 100}, opt)
+	for v := range full {
+		if d := full[v] - warm[v]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("PageRankFrom diverges at %d", v)
+		}
+		if d := full[v] - inc[v]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("PageRankDelta diverges at %d", v)
+		}
+	}
+
+	es, err := NewEmptyStream(10, false, false, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	if err := es.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := es.Components().Count; got != 9 {
+		t.Fatalf("components after one edge = %d, want 9", got)
 	}
 }

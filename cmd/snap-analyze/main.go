@@ -33,6 +33,8 @@ func main() {
 		topK     = flag.Int("top", 10, "how many top-ranked vertices to print")
 		samples  = flag.Int("samples", 0, "BFS samples for path-length estimation (0 = auto)")
 		seed     = flag.Int64("seed", 1, "sampling seed")
+		approx   = flag.Bool("approx", false, "route distance metrics and closeness through the sketch tier (HyperANF, sampled closeness)")
+		regs     = flag.Int("registers", 0, "HLL registers per vertex under -approx (0 = 64)")
 	)
 	flag.Parse()
 
@@ -53,13 +55,22 @@ func main() {
 		cc := metrics.GlobalClustering(g, 0)
 		tr := metrics.Transitivity(g, 0)
 		r := metrics.Assortativity(g)
-		avg, diam := metrics.AvgPathLength(g, metrics.PathLengthOptions{Samples: *samples, Seed: *seed})
+		avg, diam := metrics.AvgPathLength(g, metrics.PathLengthOptions{
+			Samples: *samples, Seed: *seed, Approx: *approx, Registers: *regs,
+		})
 		bip := metrics.IsBipartite(g)
 		fmt.Printf("\n-- metrics (%.2fs) --\n", time.Since(start).Seconds())
 		fmt.Printf("degree: min %d, max %d, mean %.2f\n", st.Min, st.Max, st.Mean)
 		fmt.Printf("clustering coefficient: %.4f (transitivity %.4f)\n", cc, tr)
 		fmt.Printf("assortativity: %+.4f\n", r)
-		fmt.Printf("avg path length: %.3f (diameter >= %d)\n", avg, diam)
+		if *approx {
+			eff := metrics.DiameterWithOptions(g, metrics.DiameterOptions{
+				Approx: true, Registers: *regs, Seed: *seed,
+			})
+			fmt.Printf("avg path length: %.3f (sketch; diameter ~ %d, effective %.2f)\n", avg, diam, eff)
+		} else {
+			fmt.Printf("avg path length: %.3f (diameter >= %d)\n", avg, diam)
+		}
 		fmt.Printf("bipartite: %v\n", bip)
 		fmt.Printf("degeneracy (max k-core): %d\n", metrics.Degeneracy(g))
 	}
@@ -84,7 +95,11 @@ func main() {
 		case "degree":
 			scores = centrality.DegreeCentrality(g)
 		case "closeness":
-			scores = centrality.Closeness(g, centrality.ClosenessOptions{})
+			if *approx {
+				scores = centrality.ApproxCloseness(g, *samples, *seed, 0)
+			} else {
+				scores = centrality.Closeness(g, centrality.ClosenessOptions{})
+			}
 		case "betweenness":
 			scores = centrality.Betweenness(g, centrality.BetweennessOptions{ComputeVertex: true}).Vertex
 		case "approx":

@@ -28,6 +28,7 @@ func main() {
 		ablate  = flag.Bool("ablations", false, "run the design-choice ablations")
 		loads   = flag.Bool("loads", false, "measure the graph ingest paths (text vs SNP1 vs SNP2)")
 		ingest  = flag.Bool("ingest", false, "measure snapshot-epoch streaming commits and incremental kernels")
+		sk      = flag.Bool("sketch", false, "measure the approximate-analytics tier (HyperANF, sampled closeness, landmark oracle) against the exact kernels")
 		all     = flag.Bool("all", false, "run every experiment in paper order")
 		scale   = flag.Float64("scale", 0.1, "instance scale relative to the paper (1 = full size)")
 		k       = flag.Int("k", 32, "part count for Table 1")
@@ -100,6 +101,10 @@ func main() {
 	}
 	if *ingest {
 		bench.Ingest(cfg)
+		ran = true
+	}
+	if *sk {
+		bench.Sketch(cfg)
 		ran = true
 	}
 	if !ran {

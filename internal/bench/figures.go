@@ -225,5 +225,6 @@ func All(cfg Config) {
 	Ablations(cfg)
 	Loads(cfg)
 	Ingest(cfg)
+	Sketch(cfg)
 	fmt.Fprintf(cfg.Out, "total harness time: %.1fs\n", time.Since(start).Seconds())
 }

@@ -1,80 +1,31 @@
 package centrality
 
 import (
-	"math/rand"
-
-	"snap/internal/bfs"
 	"snap/internal/graph"
-	"snap/internal/par"
+	"snap/internal/sketch"
 )
 
 // ApproxCloseness estimates closeness centrality for every vertex with
-// the Eppstein–Wang sampling scheme: k BFS traversals from random
-// pivots give, for each vertex v, an unbiased estimate of its average
-// distance avg(v) ≈ (n/(n−1)·k) Σ_i d(p_i, v); closeness is the
-// reciprocal of the estimated total distance. With k = Θ(log n / ε²)
-// the estimate is within εΔ of the truth with high probability.
-// Vertices not reached by any pivot get score 0.
+// the Eppstein–Wang sampling scheme. It is a thin compatibility
+// wrapper over sketch.Closeness, which owns the kernel (per-worker
+// distance accumulators over pooled BFS traversals) and the Hoeffding
+// sample-size machinery; callers who want the error/confidence
+// contract should use the sketch package directly. samples <= 0 keeps
+// this entry point's historical default of 32 pivots; seed 0 now means
+// the repo-wide deterministic default (sketch.DefaultSeed), and any
+// nonzero seed reproduces the pivot sequence this function has always
+// drawn. Vertices not reached by any pivot get score 0.
 func ApproxCloseness(g *graph.Graph, samples int, seed int64, workers int) []float64 {
-	n := g.NumVertices()
-	if n == 0 {
+	if g.NumVertices() == 0 {
 		return nil
 	}
 	if samples <= 0 {
 		samples = 32
 	}
-	if samples > n {
-		samples = n
-	}
-	if workers <= 0 {
-		workers = par.Workers()
-	}
-	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(n)
-	pivots := make([]int32, samples)
-	for i := range pivots {
-		pivots[i] = int32(perm[i])
-	}
-	// Per-worker accumulators (the coarse-grained O(p·n) trade-off, as
-	// in coarse-grained betweenness): each worker folds its pivots'
-	// distance vectors into private arrays with no serialization, and
-	// the p partial sums are merged once at the end. Buffers are
-	// allocated lazily so only workers that actually run pay O(n).
-	type pivotAcc struct {
-		totals []float64
-		counts []int32
-	}
-	accs := make([]pivotAcc, workers)
-	bfs.MultiSourceWorkspace(g, pivots, -1, workers, func(w, _ int, ws *bfs.Workspace) {
-		a := &accs[w]
-		if a.totals == nil {
-			a.totals = make([]float64, n)
-			a.counts = make([]int32, n)
-		}
-		for _, v := range ws.Order() {
-			a.totals[v] += float64(ws.Dist(v))
-			a.counts[v]++
-		}
+	r := sketch.Closeness(g, sketch.ClosenessOptions{
+		Samples: samples,
+		Seed:    seed,
+		Workers: workers,
 	})
-	totals := make([]float64, n)
-	counts := make([]int32, n)
-	for _, a := range accs {
-		if a.totals == nil {
-			continue
-		}
-		for v := 0; v < n; v++ {
-			totals[v] += a.totals[v]
-			counts[v] += a.counts[v]
-		}
-	}
-	out := make([]float64, n)
-	for v := 0; v < n; v++ {
-		if counts[v] == 0 || totals[v] == 0 {
-			continue
-		}
-		// Scale the sampled distance sum to the full vertex set.
-		est := totals[v] * float64(n) / float64(counts[v])
-		out[v] = 1 / est
-	}
-	return out
+	return r.Scores
 }

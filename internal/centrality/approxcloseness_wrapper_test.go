@@ -1,0 +1,29 @@
+package centrality
+
+import (
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/sketch"
+)
+
+// TestApproxClosenessMatchesSketch pins that the compatibility wrapper
+// is bitwise-identical to the sketch kernel it delegates to, including
+// the historical 32-pivot default for samples <= 0.
+func TestApproxClosenessMatchesSketch(t *testing.T) {
+	g := generate.RMAT(600, 2400, generate.DefaultRMAT(), 5)
+	got := ApproxCloseness(g, 48, 7, 2)
+	want := sketch.Closeness(g, sketch.ClosenessOptions{Samples: 48, Seed: 7, Workers: 2})
+	for v := range want.Scores {
+		if got[v] != want.Scores[v] {
+			t.Fatalf("wrapper diverges from sketch at vertex %d: %v vs %v", v, got[v], want.Scores[v])
+		}
+	}
+	def := ApproxCloseness(g, 0, 7, 0)
+	want32 := sketch.Closeness(g, sketch.ClosenessOptions{Samples: 32, Seed: 7})
+	for v := range want32.Scores {
+		if def[v] != want32.Scores[v] {
+			t.Fatalf("samples<=0 default is not 32 pivots (vertex %d)", v)
+		}
+	}
+}

@@ -4,7 +4,48 @@ import (
 	"snap/internal/bfs"
 	"snap/internal/frontier"
 	"snap/internal/graph"
+	"snap/internal/sketch"
 )
+
+// DiameterOptions configures DiameterWithOptions.
+type DiameterOptions struct {
+	// Approx routes to the HyperANF sketch tier, returning the
+	// interpolated effective diameter at Quantile instead of the exact
+	// iFUB diameter. On large small-world graphs the sketch needs one
+	// union sweep per distance level while iFUB may re-run many full
+	// traversals — see EXPERIMENTS.md for measured ratios.
+	Approx bool
+	// Quantile is the effective-diameter quantile under Approx
+	// (0 means 0.9). Quantile 1.0 approaches the true diameter of the
+	// reachable-pair relation.
+	Quantile float64
+	// Registers is the per-vertex HLL register count under Approx
+	// (0 means 64).
+	Registers int
+	// Seed drives the sketch hash; 0 means the documented default.
+	Seed int64
+	// Workers bounds parallelism of the sketch sweeps; the exact path
+	// is serial by design (its per-level work is too fine-grained to
+	// win from goroutine barriers).
+	Workers int
+}
+
+// DiameterWithOptions computes the graph diameter, exactly (iFUB, the
+// default) or approximately (HyperANF effective diameter at the given
+// quantile). The exact tier returns an integer-valued float64; the
+// approximate tier interpolates between sweep levels.
+func DiameterWithOptions(g *graph.Graph, opt DiameterOptions) float64 {
+	if !opt.Approx {
+		return float64(Diameter(g))
+	}
+	r := sketch.ANF(g, sketch.ANFOptions{
+		Registers: opt.Registers,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+		Quantile:  opt.Quantile,
+	})
+	return r.EffectiveDiameter
+}
 
 // Diameter computes the exact diameter of the largest connected
 // component using the iFUB scheme (iterative fringe upper bound):

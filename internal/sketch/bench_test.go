@@ -1,0 +1,95 @@
+package sketch
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+// sketchBenchScale picks the RMAT scale: SNAP_BENCH_SCALE when set,
+// else 14 under -short (CI smoke) and 18 for a full run (the
+// EXPERIMENTS.md numbers).
+func sketchBenchScale(tb testing.TB) int {
+	if s := os.Getenv("SNAP_BENCH_SCALE"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			tb.Fatalf("bad SNAP_BENCH_SCALE %q: %v", s, err)
+		}
+		return v
+	}
+	if testing.Short() {
+		return 14
+	}
+	return 18
+}
+
+func sketchRMAT(scale int) *graph.Graph {
+	n := 1 << scale
+	return generate.RMAT(n, 8*n, generate.DefaultRMAT(), 1)
+}
+
+func BenchmarkANFRMAT(b *testing.B) {
+	g := sketchRMAT(sketchBenchScale(b))
+	b.ReportAllocs()
+	b.SetBytes(int64(g.NumArcs() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ANF(g, ANFOptions{Seed: 1})
+	}
+}
+
+// BenchmarkANFWarm measures the pooled steady state: one workspace
+// reused across runs (the serving-loop shape), serial arm.
+func BenchmarkANFWarm(b *testing.B) {
+	g := sketchRMAT(sketchBenchScale(b))
+	ws := NewANFWorkspace()
+	opt := ANFOptions{Seed: 1, Workers: 1}
+	ws.Run(g, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Run(g, opt)
+	}
+}
+
+func BenchmarkSampledCloseness(b *testing.B) {
+	g := sketchRMAT(sketchBenchScale(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Closeness(g, ClosenessOptions{Samples: 64, Seed: 1})
+	}
+}
+
+func BenchmarkOracleBuild(b *testing.B) {
+	g := sketchRMAT(sketchBenchScale(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildOracle(g, OracleOptions{Landmarks: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleEstimate(b *testing.B) {
+	g := sketchRMAT(sketchBenchScale(b))
+	o, err := BuildOracle(g, OracleOptions{Landmarks: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int32(g.NumVertices())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		s := int32(i*7919) % n
+		t := int32(i*104729) % n
+		lo, hi := o.Estimate(s, t)
+		sink += lo + hi
+	}
+	_ = sink
+}

@@ -1,0 +1,278 @@
+package sketch
+
+import (
+	"testing"
+
+	"snap/internal/bfs"
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+// exactDistances returns the full n×n BFS distance matrix (-1 for
+// unreachable pairs) — the oracle the bracket tests compare against.
+func exactDistances(g *graph.Graph) [][]int32 {
+	n := g.NumVertices()
+	out := make([][]int32, n)
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	bfs.MultiSourceWorkspace(g, sources, -1, 1, func(_, i int, ws *bfs.Workspace) {
+		row := make([]int32, n)
+		for j := range row {
+			row[j] = -1
+		}
+		for _, v := range ws.Order() {
+			row[v] = ws.Dist(v)
+		}
+		out[i] = row
+	})
+	return out
+}
+
+// twoComponentGraph builds a graph with a 30-vertex RMAT-ish blob and a
+// 10-vertex ring, disjoint.
+func twoComponentGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	rng := NewRNG(7)
+	for i := 0; i < 60; i++ {
+		u, v := int32(rng.Intn(30)), int32(rng.Intn(30))
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	// Spanning path so the blob is one component.
+	for i := 0; i < 29; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	for i := 30; i < 40; i++ {
+		j := i + 1
+		if j == 40 {
+			j = 30
+		}
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+	}
+	return buildEdges(t, 40, edges)
+}
+
+// TestOracleBoundsBracketExact checks lo <= d <= hi for every pair on
+// several families and all three strategies, and that disconnected
+// pairs are reported as such.
+func TestOracleBoundsBracketExact(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"rmat", generate.RMAT(200, 800, generate.DefaultRMAT(), 3)},
+		{"er", generate.ErdosRenyi(150, 600, 4)},
+		{"path", pathGraph(t, 64)},
+		{"twocomp", twoComponentGraph(t)},
+	}
+	for _, tc := range graphs {
+		exact := exactDistances(tc.g)
+		n := tc.g.NumVertices()
+		for _, strat := range []string{"degree", "farthest", "random"} {
+			o, err := BuildOracle(tc.g, OracleOptions{Landmarks: 8, Strategy: strat, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, strat, err)
+			}
+			for s := int32(0); int(s) < n; s++ {
+				for u := int32(0); int(u) < n; u++ {
+					d := exact[s][u]
+					lo, hi := o.Estimate(s, u)
+					if d < 0 {
+						// Disconnected pair: the oracle must never return a
+						// finite bracket (a landmark reaching both would
+						// prove connectivity).
+						if hi >= 0 {
+							t.Fatalf("%s/%s: disconnected pair (%d,%d) got bracket [%d,%d]", tc.name, strat, s, u, lo, hi)
+						}
+						continue
+					}
+					if hi < 0 {
+						// Connected pair in a component with no landmark —
+						// only possible when the strategy doesn't cover
+						// components; farthest must always cover.
+						if strat == "farthest" {
+							t.Fatalf("%s/farthest: connected pair (%d,%d) unresolved", tc.name, s, u)
+						}
+						continue
+					}
+					if lo > d || d > hi {
+						t.Fatalf("%s/%s: pair (%d,%d) d=%d outside [%d,%d]", tc.name, strat, s, u, d, lo, hi)
+					}
+					if est := o.Distance(s, u); est < lo || est > hi {
+						t.Fatalf("%s/%s: midpoint %d outside [%d,%d]", tc.name, strat, est, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOracleExactAtLandmarks pins that queries touching a landmark are
+// exact (lo == hi == d).
+func TestOracleExactAtLandmarks(t *testing.T) {
+	g := generate.RMAT(300, 1200, generate.DefaultRMAT(), 5)
+	exact := exactDistances(g)
+	o, err := BuildOracle(g, OracleOptions{Landmarks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range o.Landmarks() {
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			d := exact[l][v]
+			lo, hi := o.Estimate(l, v)
+			if d < 0 {
+				if hi >= 0 {
+					t.Fatalf("landmark %d to unreachable %d: bracket [%d,%d]", l, v, lo, hi)
+				}
+				continue
+			}
+			if lo != d || hi != d {
+				t.Fatalf("landmark %d to %d: [%d,%d], want exact %d", l, v, lo, hi, d)
+			}
+			if got := o.LandmarkDist(i, v); got != d {
+				t.Fatalf("LandmarkDist(%d,%d) = %d, want %d", i, v, got, d)
+			}
+		}
+	}
+}
+
+// TestOracleStrategies pins strategy-specific selection behavior.
+func TestOracleStrategies(t *testing.T) {
+	g := twoComponentGraph(t)
+
+	// Degree: first landmark is the max-degree vertex.
+	o, err := BuildOracle(g, OracleOptions{Landmarks: 4, Strategy: "degree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := int32(0)
+	for v := int32(1); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) > g.Degree(best) {
+			best = v
+		}
+	}
+	found := false
+	for _, l := range o.Landmarks() {
+		if l == best {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degree strategy skipped the max-degree vertex %d (landmarks %v)", best, o.Landmarks())
+	}
+
+	// Farthest: with k >= 2 it must place a landmark in each component.
+	o, err = BuildOracle(g, OracleOptions{Landmarks: 2, Strategy: "farthest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inA, inB bool
+	for _, l := range o.Landmarks() {
+		if l < 30 {
+			inA = true
+		} else {
+			inB = true
+		}
+	}
+	if !inA || !inB {
+		t.Fatalf("farthest strategy left a component uncovered: landmarks %v", o.Landmarks())
+	}
+
+	// Random: deterministic per seed, differs across seeds (usually).
+	a1, _ := BuildOracle(g, OracleOptions{Landmarks: 5, Strategy: "random", Seed: 3})
+	a2, _ := BuildOracle(g, OracleOptions{Landmarks: 5, Strategy: "random", Seed: 3})
+	for i := range a1.Landmarks() {
+		if a1.Landmarks()[i] != a2.Landmarks()[i] {
+			t.Fatal("random strategy not deterministic for a fixed seed")
+		}
+	}
+
+	// Unknown strategy errors.
+	if _, err = BuildOracle(g, OracleOptions{Strategy: "bogus"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+
+	// Directed graphs are rejected.
+	dg, err := graph.Build(3, []graph.Edge{{U: 0, V: 1}}, graph.BuildOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = BuildOracle(dg, OracleOptions{}); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+// TestOracleWorkerInvariance pins bitwise-identical distance rows at
+// every worker count.
+func TestOracleWorkerInvariance(t *testing.T) {
+	g := generate.RMAT(500, 2000, generate.DefaultRMAT(), 6)
+	for _, strat := range []string{"degree", "farthest", "random"} {
+		base, err := BuildOracle(g, OracleOptions{Landmarks: 6, Strategy: strat, Seed: 2, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4} {
+			got, err := BuildOracle(g, OracleOptions{Landmarks: 6, Strategy: strat, Seed: 2, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base.Landmarks() {
+				if base.Landmarks()[i] != got.Landmarks()[i] {
+					t.Fatalf("%s workers=%d: landmark %d differs", strat, w, i)
+				}
+			}
+			for i := range base.dist {
+				if base.dist[i] != got.dist[i] {
+					t.Fatalf("%s workers=%d: dist[%d] differs", strat, w, i)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleEstimateZeroAlloc pins the query path's allocation
+// contract.
+func TestOracleEstimateZeroAlloc(t *testing.T) {
+	g := generate.RMAT(1000, 4000, generate.DefaultRMAT(), 8)
+	o, err := BuildOracle(g, OracleOptions{Landmarks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink, q int32
+	if allocs := testing.AllocsPerRun(100, func() {
+		q = (q + 137) % 1000
+		lo, hi := o.Estimate(11, q)
+		sink += lo + hi
+	}); allocs != 0 {
+		t.Fatalf("Estimate allocates %.0f times, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestOracleEmptyAndSingleton covers degenerate builds.
+func TestOracleEmptyAndSingleton(t *testing.T) {
+	empty, err := graph.Build(0, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := BuildOracle(empty, OracleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumVertices() != 0 || len(o.Landmarks()) != 0 {
+		t.Fatalf("empty oracle: %d vertices, %d landmarks", o.NumVertices(), len(o.Landmarks()))
+	}
+	single, err := graph.Build(1, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err = BuildOracle(single, OracleOptions{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := o.Estimate(0, 0); lo != 0 || hi != 0 {
+		t.Fatalf("self-distance: [%d,%d]", lo, hi)
+	}
+}

@@ -1,0 +1,104 @@
+package sketch
+
+import "testing"
+
+// TestEffectiveSeed pins the unified seeding contract shared by every
+// sampled kernel in the repo: seed 0 means the documented DefaultSeed,
+// any other value passes through.
+func TestEffectiveSeed(t *testing.T) {
+	if EffectiveSeed(0) != DefaultSeed {
+		t.Fatalf("EffectiveSeed(0) = %#x, want DefaultSeed %#x", EffectiveSeed(0), DefaultSeed)
+	}
+	if EffectiveSeed(42) != 42 {
+		t.Fatalf("EffectiveSeed(42) = %d, want 42", EffectiveSeed(42))
+	}
+	if EffectiveSeed(-7) != -7 {
+		t.Fatalf("EffectiveSeed(-7) = %d, want -7", EffectiveSeed(-7))
+	}
+}
+
+// TestNewRNGDefault pins that the zero seed and DefaultSeed draw the
+// same stream, and a different seed draws a different one.
+func TestNewRNGDefault(t *testing.T) {
+	a, b := NewRNG(0), NewRNG(DefaultSeed)
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("NewRNG(0) stream differs from NewRNG(DefaultSeed)")
+		}
+	}
+	c, d := NewRNG(0), NewRNG(1)
+	same := true
+	for i := 0; i < 16; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("NewRNG(1) stream matches the default stream")
+	}
+}
+
+// TestSampleVertices pins the sampling scheme: a k-prefix of the seeded
+// permutation — no duplicates, deterministic, stable across calls, and
+// identical for seed 0 and DefaultSeed.
+func TestSampleVertices(t *testing.T) {
+	s := SampleVertices(100, 10, 1)
+	if len(s) != 10 {
+		t.Fatalf("len = %d, want 10", len(s))
+	}
+	seen := map[int32]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 100 {
+			t.Fatalf("out-of-range vertex %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate vertex %d", v)
+		}
+		seen[v] = true
+	}
+	again := SampleVertices(100, 10, 1)
+	for i := range s {
+		if s[i] != again[i] {
+			t.Fatal("SampleVertices not deterministic")
+		}
+	}
+	zero := SampleVertices(100, 10, 0)
+	def := SampleVertices(100, 10, DefaultSeed)
+	for i := range zero {
+		if zero[i] != def[i] {
+			t.Fatal("seed 0 sample differs from DefaultSeed sample")
+		}
+	}
+	// k >= n returns all n vertices (a full permutation).
+	full := SampleVertices(5, 10, 1)
+	if len(full) != 5 {
+		t.Fatalf("oversampling returned %d vertices, want 5", len(full))
+	}
+}
+
+// TestMakeParams pins register-count resolution: clamping, power-of-two
+// rounding, and the alpha constants.
+func TestMakeParams(t *testing.T) {
+	cases := []struct {
+		in   int
+		regs int
+	}{
+		{0, 64}, {-3, 64}, {16, 16}, {17, 32}, {64, 64}, {100, 128}, {256, 256}, {1000, 256}, {5, 16},
+	}
+	for _, c := range cases {
+		p := makeParams(c.in)
+		if p.regs != c.regs {
+			t.Fatalf("makeParams(%d).regs = %d, want %d", c.in, p.regs, c.regs)
+		}
+		if p.words != p.regs/8 {
+			t.Fatalf("regs %d: words = %d", p.regs, p.words)
+		}
+		if 1<<p.bits != p.regs {
+			t.Fatalf("regs %d: bits = %d", p.regs, p.bits)
+		}
+	}
+	if makeParams(16).alpha != 0.673 || makeParams(64).alpha != 0.709 {
+		t.Fatal("alpha constants wrong")
+	}
+}

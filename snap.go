@@ -13,6 +13,8 @@
 //     adaptive-sampling approximate, vertex and edge).
 //   - Network metrics: clustering coefficients, assortativity,
 //     rich-club, average path length.
+//   - Approximate analytics: ApproxNeighborhood (HyperANF),
+//     EffectiveDiameter, SampledCloseness, NewDistanceOracle.
 //   - Community detection: GirvanNewman, PBD, PMA, PLA, Modularity.
 //   - Partitioning: MultilevelKWay, MultilevelRecursive, SpectralRQI,
 //     SpectralLanczos, EdgeCut.
@@ -35,6 +37,7 @@ import (
 	"snap/internal/ingest"
 	"snap/internal/metrics"
 	"snap/internal/partition"
+	"snap/internal/sketch"
 	"snap/internal/sssp"
 )
 
@@ -341,6 +344,70 @@ func AvgNeighborDegree(g *Graph) []float64 { return metrics.AvgNeighborDegree(g)
 // and a diameter lower bound.
 func AvgPathLength(g *Graph) (float64, int) {
 	return metrics.AvgPathLength(g, metrics.PathLengthOptions{})
+}
+
+// Approximate (sketch-tier) analytics.
+
+// ANFOptions configures the HyperANF neighborhood-function kernel.
+type ANFOptions = sketch.ANFOptions
+
+// ANFResult is the estimated neighborhood function and derived
+// distance statistics.
+type ANFResult = sketch.ANFResult
+
+// ApproxNeighborhood estimates the neighborhood function NF(t) of g by
+// HyperANF: per-vertex HyperLogLog sketches advanced by level-
+// synchronous union sweeps. One pass yields the effective diameter,
+// the average path length over ALL reachable pairs, and per-vertex
+// reachable-set sizes — orders of magnitude faster than exact BFS
+// tiers on large small-world graphs, at a few percent error.
+func ApproxNeighborhood(g *Graph, opt ANFOptions) ANFResult {
+	return sketch.ANF(g, opt)
+}
+
+// EffectiveDiameter returns the HyperANF 90%-quantile effective
+// diameter of g with default settings. Use ApproxNeighborhood for
+// custom quantiles, registers, or seeds.
+func EffectiveDiameter(g *Graph) float64 {
+	return sketch.ANF(g, sketch.ANFOptions{}).EffectiveDiameter
+}
+
+// ApproxAvgPathLength estimates the mean shortest-path length via the
+// HyperANF sketch tier (all reachable pairs at once, no source
+// sampling) along with the sketch's diameter estimate.
+func ApproxAvgPathLength(g *Graph) (float64, int) {
+	return metrics.AvgPathLength(g, metrics.PathLengthOptions{Approx: true})
+}
+
+// SampledClosenessOptions configures the Eppstein–Wang sampled
+// closeness estimator (pivot count, or an epsilon/confidence target it
+// is derived from).
+type SampledClosenessOptions = sketch.ClosenessOptions
+
+// SampledClosenessResult carries the estimated scores and the realized
+// Hoeffding error contract.
+type SampledClosenessResult = sketch.ClosenessResult
+
+// SampledCloseness estimates closeness centrality from sampled BFS
+// pivots with a Hoeffding error bound: every vertex's estimated
+// average distance is within Epsilon·diameter of the truth with
+// probability Confidence.
+func SampledCloseness(g *Graph, opt SampledClosenessOptions) SampledClosenessResult {
+	return sketch.Closeness(g, opt)
+}
+
+// DistanceOracleOptions configures landmark selection.
+type DistanceOracleOptions = sketch.OracleOptions
+
+// DistanceOracle answers point-to-point distance queries in O(k) from
+// k landmark BFS vectors via triangle-inequality brackets. Immutable
+// and safe for concurrent queries.
+type DistanceOracle = sketch.Oracle
+
+// NewDistanceOracle builds a k-landmark distance oracle over an
+// undirected graph (one BFS sweep per landmark).
+func NewDistanceOracle(g *Graph, opt DistanceOracleOptions) (*DistanceOracle, error) {
+	return sketch.BuildOracle(g, opt)
 }
 
 // Community detection.

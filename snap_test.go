@@ -248,6 +248,46 @@ func TestFacadeNewKernels(t *testing.T) {
 	_ = Condensation(g, scc)
 }
 
+func TestFacadeApproxAnalytics(t *testing.T) {
+	g := RMAT(600, 2400, DefaultRMAT(), 8)
+	anf := ApproxNeighborhood(g, ANFOptions{Seed: 1})
+	if len(anf.NF) == 0 || anf.AvgPathLength <= 0 || len(anf.Reach) != 600 {
+		t.Fatalf("ANF result: %+v", anf)
+	}
+	if eff := EffectiveDiameter(g); eff <= 0 {
+		t.Fatalf("effective diameter %g", eff)
+	}
+	avg, diam := ApproxAvgPathLength(g)
+	if avg <= 0 || diam <= 0 {
+		t.Fatalf("approx avg path (%g, %d)", avg, diam)
+	}
+	sc := SampledCloseness(g, SampledClosenessOptions{Samples: 32, Seed: 1})
+	if len(sc.Scores) != 600 || len(sc.Pivots) != 32 || sc.Epsilon <= 0 {
+		t.Fatalf("sampled closeness: %d scores, %d pivots", len(sc.Scores), len(sc.Pivots))
+	}
+	oracle, err := NewDistanceOracle(g, DistanceOracleOptions{Landmarks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := BFSSerial(g, 3)
+	for v := int32(0); v < 600; v++ {
+		d := exact.Dist[v]
+		lo, hi := oracle.Estimate(3, v)
+		if d < 0 {
+			if hi >= 0 {
+				t.Fatalf("disconnected pair got bracket [%d,%d]", lo, hi)
+			}
+			continue
+		}
+		if hi < 0 {
+			continue
+		}
+		if lo > d || d > hi {
+			t.Fatalf("oracle bracket [%d,%d] misses exact %d for (3,%d)", lo, hi, d, v)
+		}
+	}
+}
+
 func TestFacadeLouvainAndQuality(t *testing.T) {
 	g, truth := PlantedPartition(4, 30, 0.5, 0.01, 4)
 	lv := Louvain(g, LouvainOptions{Seed: 1})

@@ -29,6 +29,7 @@ func main() {
 		loads   = flag.Bool("loads", false, "measure the graph ingest paths (text vs SNP1 vs SNP2)")
 		ingest  = flag.Bool("ingest", false, "measure snapshot-epoch streaming commits and incremental kernels")
 		sk      = flag.Bool("sketch", false, "measure the approximate-analytics tier (HyperANF, sampled closeness, landmark oracle) against the exact kernels")
+		part    = flag.Bool("partition", false, "measure the parallel multilevel partitioner and the partition-blocked shard-local kernel layout")
 		all     = flag.Bool("all", false, "run every experiment in paper order")
 		scale   = flag.Float64("scale", 0.1, "instance scale relative to the paper (1 = full size)")
 		k       = flag.Int("k", 32, "part count for Table 1")
@@ -105,6 +106,10 @@ func main() {
 	}
 	if *sk {
 		bench.Sketch(cfg)
+		ran = true
+	}
+	if *part {
+		bench.Partition(cfg)
 		ran = true
 	}
 	if !ran {

@@ -99,3 +99,28 @@ func ExampleNMI() {
 	fmt.Printf("%.1f\n", snap.NMI(a, b))
 	// Output: 1.0
 }
+
+func ExamplePartition() {
+	g := twoTriangles()
+	// Partition into two parts, then reorder the graph so each part
+	// occupies one contiguous id block and run BFS shard-locally.
+	res, err := snap.Partition(g, snap.PartitionOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	perm, bounds, err := snap.BlockedPerm(g, res.Part, res.K)
+	if err != nil {
+		panic(err)
+	}
+	rg, inv, err := snap.Relabel(g, perm)
+	if err != nil {
+		panic(err)
+	}
+	s, err := snap.NewSharded(rg, bounds)
+	if err != nil {
+		panic(err)
+	}
+	dist := s.BFS(inv[0], 0)
+	fmt.Println(res.EdgeCut, dist[inv[5]])
+	// Output: 1 3
+}

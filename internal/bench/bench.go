@@ -76,6 +76,17 @@ func timed(f func()) time.Duration {
 	return time.Since(start)
 }
 
+// timedMin reports the fastest of reps timed runs of f.
+func timedMin(reps int, f func()) time.Duration {
+	best := timed(f)
+	for i := 1; i < reps; i++ {
+		if d := timed(f); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 func seconds(d time.Duration) float64 { return d.Seconds() }
 
 // Table1 reproduces the paper's Table 1: edge cut of a K-way

@@ -226,5 +226,6 @@ func All(cfg Config) {
 	Loads(cfg)
 	Ingest(cfg)
 	Sketch(cfg)
+	Partition(cfg)
 	fmt.Fprintf(cfg.Out, "total harness time: %.1fs\n", time.Since(start).Seconds())
 }

@@ -1,0 +1,58 @@
+package partition
+
+import (
+	"fmt"
+	"slices"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// BlockedPerm computes the partition-blocked relabeling permutation
+// for a k-way partition: vertices are ordered by (part id, descending
+// degree, ascending old id), so each part's vertices become one
+// contiguous block of new ids — the layout that makes kernels
+// shard-local — with hubs leading each block. perm[newID] = oldID is
+// ready for graph.Relabel; bounds has length k+1 and part p's block is
+// the new-id range [bounds[p], bounds[p+1]).
+func BlockedPerm(g *graph.Graph, part []int32, k int) (perm []int32, bounds []int32, err error) {
+	n := g.NumVertices()
+	if len(part) != n {
+		return nil, nil, fmt.Errorf("partition: part length %d != n %d", len(part), n)
+	}
+	counts := make([]int32, k+1)
+	for _, p := range part {
+		if p < 0 || int(p) >= k {
+			return nil, nil, fmt.Errorf("partition: part id %d out of range [0,%d)", p, k)
+		}
+		counts[p+1]++
+	}
+	bounds = counts
+	for p := 0; p < k; p++ {
+		bounds[p+1] += bounds[p]
+	}
+	perm = make([]int32, n)
+	cursor := make([]int32, k)
+	copy(cursor, bounds[:k])
+	for v := int32(0); int(v) < n; v++ {
+		p := part[v]
+		perm[cursor[p]] = v
+		cursor[p]++
+	}
+	// Each block is in ascending old-id order; sort by descending
+	// degree with the old id as tie-break so the order stays total and
+	// deterministic. Blocks are disjoint, so they sort in parallel.
+	off := g.Offsets
+	par.ForEachN(k, par.Workers(), func(p int) {
+		block := perm[bounds[p]:bounds[p+1]]
+		slices.SortFunc(block, func(a, b int32) int {
+			da := off[a+1] - off[a]
+			db := off[b+1] - off[b]
+			if da != db {
+				return int(db - da)
+			}
+			return int(a - b)
+		})
+	})
+	return perm, bounds, nil
+}

@@ -1,0 +1,458 @@
+package partition
+
+import (
+	"slices"
+
+	"snap/internal/par"
+)
+
+// Coarsening: parallel heavy-edge handshake matching plus counting-sort
+// contraction, both deterministic at every worker count.
+//
+// Matching replaces the seed's serial random-order greedy scan with a
+// fixed number of handshake rounds. In each round every unmatched
+// vertex proposes to its best unmatched neighbor — heaviest incident
+// edge first, ties broken by a seeded per-vertex hash, then by smaller
+// id — reading only the match state frozen at round start. Mutual
+// proposals (pref[pref[v]] == v) become matches; each endpoint writes
+// only its own match slot, so the phase is race-free, and because every
+// round is a pure function of the previous round's state the matching
+// is bit-identical no matter how the rounds are chunked across workers.
+//
+// Contraction is the PR-3 histogram → par.CursorsFromCounts →
+// disjoint-scatter pattern: per-worker histograms of surviving coarse
+// arcs, shared cursors, an atomics-free scatter into per-coarse-vertex
+// buckets, then a degree-aware per-bucket sort with in-pass collapse of
+// parallel edges. Weight sums are integers, so the result is exact and
+// worker-count independent.
+
+// wview is the weighted graph a multilevel pass runs on: either the
+// original CSR (ew == nil means unit edge weights, vw == nil means unit
+// vertex weights) or a contracted coarse level (both materialized).
+type wview struct {
+	off []int64
+	adj []int32
+	ew  []int64
+	vw  []int64
+}
+
+func (v wview) n() int { return len(v.off) - 1 }
+
+func (v wview) vweight(x int32) int64 {
+	if v.vw == nil {
+		return 1
+	}
+	return v.vw[x]
+}
+
+func (v wview) totalVW() int64 {
+	if v.vw == nil {
+		return int64(v.n())
+	}
+	var s int64
+	for _, x := range v.vw {
+		s += x
+	}
+	return s
+}
+
+// matchRounds bounds the handshake rounds per level. Four rounds leave
+// only a small unmatched tail on every graph family we generate; the
+// coarsening stall check catches the pathological remainder.
+const matchRounds = 4
+
+// matchLevel computes a heavy-edge matching of v into ws.match[:n]
+// (match[x] == x means unmatched). salt seeds the tie-break hashes.
+// Pairs whose combined vertex weight would exceed maxCluster are not
+// proposed, bounding coarse vertex growth across levels.
+func (ws *Workspace) matchLevel(v wview, salt uint64, workers int, maxCluster int64) {
+	n := v.n()
+	ws.match = scratch(ws.match, n)
+	ws.pref = scratch(ws.pref, n)
+	match, pref := ws.match, ws.pref
+	if workers > 1 {
+		par.ForChunkedN(n, workers, func(_, lo, hi int) {
+			fill32(match[lo:hi], -1)
+		})
+	} else {
+		fill32(match[:n], -1)
+	}
+	for round := 0; round < matchRounds; round++ {
+		rsalt := salt + uint64(round)*0x9e3779b97f4a7c15
+		if workers > 1 {
+			par.ForChunkedN(n, workers, func(_, lo, hi int) {
+				ws.proposeRange(v, rsalt, lo, hi, maxCluster)
+			})
+			ws.partial = scratch(ws.partial, workers)
+			clear(ws.partial[:workers])
+			par.ForChunkedN(n, workers, func(w, lo, hi int) {
+				ws.partial[w] = handshakeRange(match, pref, lo, hi)
+			})
+			var matched int64
+			for _, p := range ws.partial[:workers] {
+				matched += p
+			}
+			if matched == 0 {
+				break
+			}
+		} else {
+			ws.proposeRange(v, rsalt, 0, n, maxCluster)
+			if handshakeRange(match, pref, 0, n) == 0 {
+				break
+			}
+		}
+	}
+	// Normalize the unmatched tail to the match[x] == x convention.
+	if workers > 1 {
+		par.ForChunkedN(n, workers, func(_, lo, hi int) {
+			normalizeRange(match, lo, hi)
+		})
+	} else {
+		normalizeRange(match, 0, n)
+	}
+}
+
+// proposeRange computes each unmatched vertex's preferred partner in
+// [lo, hi): the unmatched neighbor with the heaviest incident edge,
+// ties broken by a seeded EDGE hash (symmetric in the endpoints, so
+// both ends rank their shared edge identically — the locally-dominant
+// edge trick that makes handshakes plentiful; a vertex hash would be a
+// global popularity ranking that funnels all proposals into a few hubs
+// and stalls on power-law graphs), then by smaller id. Reads only the
+// match state frozen at round start.
+func (ws *Workspace) proposeRange(v wview, rsalt uint64, lo, hi int, maxCluster int64) {
+	match, pref := ws.match, ws.pref
+	for xi := lo; xi < hi; xi++ {
+		x := int32(xi)
+		if match[x] != -1 {
+			pref[x] = -1
+			continue
+		}
+		best := int32(-1)
+		var bestW int64
+		var bestH uint64
+		alo, ahi := v.off[x], v.off[x+1]
+		if v.ew == nil {
+			for a := alo; a < ahi; a++ {
+				u := v.adj[a]
+				if u == x || match[u] != -1 {
+					continue
+				}
+				h := splitmix64(rsalt ^ (uint64(u) ^ uint64(x)))
+				if best == -1 || h > bestH || (h == bestH && u < best) {
+					best, bestH = u, h
+				}
+			}
+		} else {
+			for a := alo; a < ahi; a++ {
+				u := v.adj[a]
+				if u == x || match[u] != -1 {
+					continue
+				}
+				if v.vw != nil && v.vw[x]+v.vw[u] > maxCluster {
+					continue
+				}
+				w := v.ew[a]
+				if best != -1 && w < bestW {
+					continue
+				}
+				h := splitmix64(rsalt ^ (uint64(u) ^ uint64(x)))
+				if best == -1 || w > bestW || h > bestH || (h == bestH && u < best) {
+					best, bestW, bestH = u, w, h
+				}
+			}
+		}
+		pref[x] = best
+	}
+}
+
+// handshakeRange matches mutual proposals in [lo, hi), each endpoint
+// writing its own slot, and returns the number matched in the range.
+func handshakeRange(match, pref []int32, lo, hi int) int64 {
+	var matched int64
+	for xi := lo; xi < hi; xi++ {
+		x := int32(xi)
+		if match[x] != -1 || pref[x] < 0 {
+			continue
+		}
+		if u := pref[x]; pref[u] == x {
+			match[x] = u
+			matched++
+		}
+	}
+	return matched
+}
+
+func normalizeRange(match []int32, lo, hi int) {
+	for x := lo; x < hi; x++ {
+		if match[x] == -1 {
+			match[x] = int32(x)
+		}
+	}
+}
+
+func fill32(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// ce is a coarse arc observation: target coarse vertex and the weight
+// of one contracted fine edge.
+type ce struct {
+	to int32
+	w  int64
+}
+
+func ceLess(a, b ce) int { return int(a.to) - int(b.to) }
+
+// contract collapses ws.match over level li into level li+1, storing
+// the coarse graph and the fine-to-coarse map in the hierarchy.
+// Returns the coarse vertex count.
+func (ws *Workspace) contract(li, workers int, maxCluster int64) int {
+	v := ws.lv[li].view
+	n := v.n()
+	match := ws.match
+
+	// Dense coarse ids in fine-vertex order: deterministic, O(n).
+	// Matched pairs become clusters first; leftover singletons then try
+	// to join a neighboring cluster (heaviest connecting edge, ties to
+	// the smaller cluster id) under the cluster weight cap. Without the
+	// absorption step coarsening stalls on power-law graphs: degree-1
+	// satellites around a hub can pair with the hub only one per level,
+	// capping the shrink factor near 1.
+	ws.lv[li].coarseOf = scratch(ws.lv[li].coarseOf, n)
+	coarseOf := ws.lv[li].coarseOf
+	fill32(coarseOf, -1)
+	ws.cvw = scratch(ws.cvw, n)
+	cvw := ws.cvw
+	var cn int32
+	for x := int32(0); int(x) < n; x++ {
+		if coarseOf[x] != -1 {
+			continue
+		}
+		if m := match[x]; m != x {
+			coarseOf[x] = cn
+			coarseOf[m] = cn
+			cvw[cn] = v.vweight(x) + v.vweight(m)
+			cn++
+		}
+	}
+	for x := int32(0); int(x) < n; x++ {
+		if coarseOf[x] != -1 {
+			continue
+		}
+		vwx := v.vweight(x)
+		best := int32(-1)
+		var bestW int64
+		for a := v.off[x]; a < v.off[x+1]; a++ {
+			c := coarseOf[v.adj[a]]
+			if c == -1 || cvw[c]+vwx > maxCluster {
+				continue
+			}
+			w := int64(1)
+			if v.ew != nil {
+				w = v.ew[a]
+			}
+			if w > bestW || (w == bestW && (best == -1 || c < best)) {
+				best, bestW = c, w
+			}
+		}
+		if best != -1 {
+			coarseOf[x] = best
+			cvw[best] += vwx
+			continue
+		}
+		coarseOf[x] = cn
+		cvw[cn] = vwx
+		cn++
+	}
+
+	if workers > n {
+		workers = max(1, n)
+	}
+	// Histogram pass: surviving (non-contracted) arcs per coarse vertex.
+	for len(ws.counts) < workers {
+		ws.counts = append(ws.counts, nil)
+	}
+	for w := 0; w < workers; w++ {
+		ws.counts[w] = scratch(ws.counts[w], int(cn))
+		clear(ws.counts[w])
+	}
+	ws.bucketOff = scratch(ws.bucketOff, int(cn)+1)
+	var total int64
+	if workers > 1 {
+		par.ForChunkedN(n, workers, func(w, lo, hi int) {
+			histRange(v, coarseOf, ws.counts[w], lo, hi)
+		})
+		total = par.CursorsFromCounts(ws.counts[:workers], ws.bucketOff)
+	} else {
+		histRange(v, coarseOf, ws.counts[0], 0, n)
+		total = cursorsSerial(ws.counts[0], ws.bucketOff, int(cn))
+	}
+
+	// Scatter pass into disjoint cursor ranges.
+	ws.arcs = scratch(ws.arcs, int(total))
+	if workers > 1 {
+		par.ForChunkedN(n, workers, func(w, lo, hi int) {
+			scatterRange(v, coarseOf, ws.counts[w], ws.arcs, lo, hi)
+		})
+	} else {
+		scatterRange(v, coarseOf, ws.counts[0], ws.arcs, 0, n)
+	}
+
+	// Aggregate vertex weights serially (O(n), cheap next to arc work).
+	out := &ws.lv[li+1]
+	out.vw = scratch(out.vw, int(cn))
+	clear(out.vw)
+	for x := 0; x < n; x++ {
+		out.vw[coarseOf[x]] += v.vweight(int32(x))
+	}
+
+	// Per-bucket sort + collapse, degree-aware across workers.
+	ws.uniq = scratch(ws.uniq, int(cn))
+	ws.sizes = scratch(ws.sizes, int(cn))
+	for cv := int32(0); cv < cn; cv++ {
+		ws.sizes[cv] = ws.bucketOff[cv+1] - ws.bucketOff[cv]
+	}
+	if workers > 1 {
+		par.ForDegreeAware(ws.sizes, workers, func(_, lo, hi int) {
+			ws.collapseRange(lo, hi)
+		})
+	} else {
+		ws.collapseRange(0, int(cn))
+	}
+
+	out.off = scratch(out.off, int(cn)+1)
+	if workers > 1 {
+		par.PrefixSumInto(out.off, ws.uniq)
+	} else {
+		var acc int64
+		for cv := int32(0); cv < cn; cv++ {
+			out.off[cv] = acc
+			acc += ws.uniq[cv]
+		}
+		out.off[cn] = acc
+	}
+	out.adj = scratch(out.adj, int(out.off[cn]))
+	out.ew = scratch(out.ew, int(out.off[cn]))
+	if workers > 1 {
+		par.ForDegreeAware(ws.uniq, workers, func(_, lo, hi int) {
+			ws.assembleRange(out, lo, hi)
+		})
+	} else {
+		ws.assembleRange(out, 0, int(cn))
+	}
+	out.view = wview{off: out.off, adj: out.adj, ew: out.ew, vw: out.vw}
+	return int(cn)
+}
+
+func histRange(v wview, coarseOf []int32, c []int64, lo, hi int) {
+	for x := lo; x < hi; x++ {
+		cx := coarseOf[x]
+		for a := v.off[x]; a < v.off[x+1]; a++ {
+			if coarseOf[v.adj[a]] != cx {
+				c[cx]++
+			}
+		}
+	}
+}
+
+func scatterRange(v wview, coarseOf []int32, cur []int64, arcs []ce, lo, hi int) {
+	for x := lo; x < hi; x++ {
+		cx := coarseOf[x]
+		for a := v.off[x]; a < v.off[x+1]; a++ {
+			cu := coarseOf[v.adj[a]]
+			if cu == cx {
+				continue // contracted (or self) edge
+			}
+			w := int64(1)
+			if v.ew != nil {
+				w = v.ew[a]
+			}
+			arcs[cur[cx]] = ce{to: cu, w: w}
+			cur[cx]++
+		}
+	}
+}
+
+// collapseRange sorts each bucket in [lo, hi) and folds parallel edges,
+// recording the unique-arc count in ws.uniq.
+func (ws *Workspace) collapseRange(lo, hi int) {
+	for cv := lo; cv < hi; cv++ {
+		b := ws.arcs[ws.bucketOff[cv]:ws.bucketOff[cv+1]]
+		slices.SortFunc(b, ceLess)
+		k := 0
+		for i := 0; i < len(b); {
+			j := i
+			var sum int64
+			for j < len(b) && b[j].to == b[i].to {
+				sum += b[j].w
+				j++
+			}
+			b[k] = ce{to: b[i].to, w: sum}
+			k++
+			i = j
+		}
+		ws.uniq[cv] = int64(k)
+	}
+}
+
+func (ws *Workspace) assembleRange(out *lvl, lo, hi int) {
+	for cv := lo; cv < hi; cv++ {
+		base := out.off[cv]
+		blo := ws.bucketOff[cv]
+		for i := int64(0); i < ws.uniq[cv]; i++ {
+			out.adj[base+i] = ws.arcs[blo+i].to
+			out.ew[base+i] = ws.arcs[blo+i].w
+		}
+	}
+}
+
+// cursorsSerial is the single-worker, allocation-free arm of
+// par.CursorsFromCounts.
+func cursorsSerial(c []int64, off []int64, cn int) int64 {
+	var acc int64
+	for v := 0; v < cn; v++ {
+		off[v] = acc
+		t := c[v]
+		c[v] = acc
+		acc += t
+	}
+	off[cn] = acc
+	return acc
+}
+
+// coarsenToSize repeatedly matches and contracts the hierarchy rooted
+// at ws.lv[0] (which the caller primes with the input view) until the
+// coarsest level has at most target vertices or coarsening stalls.
+// Returns the number of levels (≥ 1).
+func (ws *Workspace) coarsenToSize(target int, seed int64, workers int) int {
+	// Cluster weight cap: the ideal coarsest vertex weight if the
+	// target is hit exactly. A cluster at the cap is ~1/CoarsenTarget
+	// of one part's weight, well inside the refinement window.
+	maxCluster := max(ws.lv[0].view.totalVW()/int64(max(target, 1)), 4)
+	levels := 1
+	for ws.lv[levels-1].view.n() > target {
+		cur := ws.lv[levels-1]
+		salt := splitmix64(uint64(seed) + uint64(levels)*0x517cc1b727220a95)
+		ws.matchLevel(cur.view, salt, workers, maxCluster)
+		for len(ws.lv) <= levels {
+			ws.lv = append(ws.lv, lvl{})
+		}
+		cn := ws.contract(levels-1, workers, maxCluster)
+		if cn >= cur.view.n()*19/20 {
+			break // stalled: mostly unmatched vertices
+		}
+		levels++
+	}
+	return levels
+}
+
+// primeLevel0 points the hierarchy root at an input view.
+func (ws *Workspace) primeLevel0(v wview) {
+	if len(ws.lv) == 0 {
+		ws.lv = append(ws.lv, lvl{})
+	}
+	ws.lv[0].view = v
+}

@@ -1,0 +1,178 @@
+package partition
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+)
+
+func kwayTestGraphs() []struct {
+	name string
+	g    *graph.Graph
+	k    int
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"mesh32x32", generate.RoadMesh(32, 32, 0, 11), 8},
+		{"rmat12", generate.RMAT(1<<12, 8<<12, generate.DefaultRMAT(), 12), 16},
+		{"disconnected", generate.ErdosRenyi(600, 500, 13), 4},
+	}
+}
+
+// The engine's central contract: the partition is bit-identical at
+// every worker count, including counts exceeding the machine.
+func TestKWayWorkerInvariance(t *testing.T) {
+	for _, tc := range kwayTestGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := MultilevelKWay(tc.g, tc.k, MultilevelOptions{Seed: 9, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, runtime.NumCPU() + 2} {
+				r, err := MultilevelKWay(tc.g, tc.k, MultilevelOptions{Seed: 9, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(ref.Part, r.Part) {
+					t.Fatalf("workers=%d: partition differs from workers=1", workers)
+				}
+				if r.EdgeCut != ref.EdgeCut {
+					t.Fatalf("workers=%d: cut %d != %d", workers, r.EdgeCut, ref.EdgeCut)
+				}
+			}
+		})
+	}
+}
+
+// A reused workspace must produce exactly what a fresh one does.
+func TestKWayWorkspaceReuseMatchesFresh(t *testing.T) {
+	graphs := kwayTestGraphs()
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	for round := 0; round < 2; round++ {
+		for _, tc := range graphs {
+			fresh, err := (&Workspace{}).KWay(tc.g, tc.k, MultilevelOptions{Seed: 21, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := ws.KWay(tc.g, tc.k, MultilevelOptions{Seed: 21, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(fresh.Part, reused.Part) {
+				t.Fatalf("round %d %s: reused workspace diverged from fresh", round, tc.name)
+			}
+		}
+	}
+}
+
+// Warm repeats on the serial arm must not allocate: every buffer the
+// engine touches is pooled in the workspace.
+func TestKWayWarmRepeatsDoNotAllocate(t *testing.T) {
+	g := generate.RMAT(1<<12, 8<<12, generate.DefaultRMAT(), 14)
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	opt := MultilevelOptions{Seed: 5, Workers: 1}
+	if _, err := ws.KWay(g, 8, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := ws.KWay(g, 8, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm KWay allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// The balance window is a hard cap: no part may exceed
+// ideal*(1+Imbalance), with one vertex of integer slack.
+func TestKWayBalanceRespected(t *testing.T) {
+	for _, tc := range kwayTestGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := MultilevelKWay(tc.g, tc.k, MultilevelOptions{Seed: 33})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes := make([]int64, tc.k)
+			for _, p := range r.Part {
+				sizes[p]++
+			}
+			maxW := int64(float64(tc.g.NumVertices()) / float64(tc.k) * 1.05)
+			for p, s := range sizes {
+				if s > maxW+1 {
+					t.Fatalf("part %d weight %d exceeds cap %d", p, s, maxW)
+				}
+			}
+		})
+	}
+}
+
+// Seed 0 must mean the pinned repo default, not a distinct stream.
+func TestKWaySeedZeroIsPinnedDefault(t *testing.T) {
+	g := generate.RMAT(1<<10, 8<<10, generate.DefaultRMAT(), 15)
+	a, err := MultilevelKWay(g, 4, MultilevelOptions{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultilevelKWay(g, 4, MultilevelOptions{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(a.Part, b.Part) {
+		t.Fatal("seed 0 not deterministic")
+	}
+	c, err := MultilevelKWay(g, 4, MultilevelOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slices.Equal(a.Part, c.Part) {
+		t.Fatal("different seeds produced identical partitions (suspicious)")
+	}
+}
+
+// BlockedPerm must be a permutation grouping each part contiguously,
+// ordered by descending degree within the block.
+func TestBlockedPerm(t *testing.T) {
+	g := generate.RMAT(1<<11, 8<<11, generate.DefaultRMAT(), 16)
+	r, err := MultilevelKWay(g, 8, MultilevelOptions{Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, bounds, err := BlockedPerm(g, r.Part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	if len(perm) != n || len(bounds) != 9 || bounds[0] != 0 || int(bounds[8]) != n {
+		t.Fatalf("bad shapes: len(perm)=%d bounds=%v", len(perm), bounds)
+	}
+	seen := make([]bool, n)
+	for _, old := range perm {
+		if seen[old] {
+			t.Fatalf("vertex %d appears twice", old)
+		}
+		seen[old] = true
+	}
+	for p := 0; p < 8; p++ {
+		var prevDeg int64 = 1 << 62
+		for i := bounds[p]; i < bounds[p+1]; i++ {
+			old := perm[i]
+			if r.Part[old] != int32(p) {
+				t.Fatalf("new id %d (old %d) in block %d but part %d", i, old, p, r.Part[old])
+			}
+			deg := g.Offsets[old+1] - g.Offsets[old]
+			if deg > prevDeg {
+				t.Fatalf("block %d not degree-descending at %d", p, i)
+			}
+			prevDeg = deg
+		}
+	}
+}

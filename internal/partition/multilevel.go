@@ -2,8 +2,10 @@ package partition
 
 import (
 	"math/rand"
+	"slices"
 
 	"snap/internal/graph"
+	"snap/internal/sketch"
 )
 
 // MultilevelOptions configures the Metis-style partitioners.
@@ -17,8 +19,13 @@ type MultilevelOptions struct {
 	// RefinePasses bounds boundary-refinement sweeps per level
 	// (default 8).
 	RefinePasses int
-	// Seed drives matching and seeding randomness.
+	// Seed drives matching and seeding randomness; 0 means the pinned
+	// repo default (sketch.EffectiveSeed). The partition is the same
+	// for a given seed at every worker count.
 	Seed int64
+	// Workers caps the worker count for the k-way engine (default
+	// par.Workers()).
+	Workers int
 }
 
 func (o *MultilevelOptions) fill() {
@@ -34,32 +41,21 @@ func (o *MultilevelOptions) fill() {
 }
 
 // MultilevelKWay partitions g into k parts with the multilevel k-way
-// scheme (the pmetis/kmetis analogue): heavy-edge-matching coarsening,
-// greedy growing on the coarsest graph, then projection with boundary
-// refinement at every level.
+// scheme (the pmetis/kmetis analogue): parallel heavy-edge handshake
+// matching with counting-sort contraction, greedy growing on the
+// coarsest graph, then projection with batch-synchronous boundary
+// refinement at every level. The result is bit-identical at every
+// worker count. Allocates a fresh result; callers on a hot loop should
+// use Workspace.KWay directly.
 func MultilevelKWay(g *graph.Graph, k int, opt MultilevelOptions) (Result, error) {
-	if err := validateK(g, k); err != nil {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	res, err := ws.KWay(g, k, opt)
+	if err != nil {
 		return Result{}, err
 	}
-	opt.fill()
-	rng := rand.New(rand.NewSource(opt.Seed))
-	w := fromGraph(g)
-	levels, maps := coarsenToSize(w, k*opt.CoarsenTarget, rng)
-	coarsest := levels[len(levels)-1]
-	part := greedyGrow(coarsest, k, rng)
-	refineKWay(coarsest, part, k, opt, rng)
-	// Uncoarsen: project and refine.
-	for li := len(levels) - 2; li >= 0; li-- {
-		fine := levels[li]
-		coarseOf := maps[li]
-		finePart := make([]int32, fine.n())
-		for v := range finePart {
-			finePart[v] = part[coarseOf[v]]
-		}
-		part = finePart
-		refineKWay(fine, part, k, opt, rng)
-	}
-	return finish(g, part, k), nil
+	res.Part = slices.Clone(res.Part)
+	return res, nil
 }
 
 // MultilevelRecursive partitions g into k parts (k a power of two is
@@ -76,7 +72,12 @@ func MultilevelRecursive(g *graph.Graph, k int, opt MultilevelOptions) (Result, 
 	for i := range verts {
 		verts[i] = int32(i)
 	}
-	rb := &recursiveBisector{opt: opt, part: part, bisect: multilevelBisect}
+	rb := &recursiveBisector{
+		opt:    opt,
+		seed:   sketch.EffectiveSeed(opt.Seed),
+		part:   part,
+		bisect: multilevelBisect,
+	}
 	rb.split(w, verts, 0, k)
 	return finish(g, part, k), nil
 }
@@ -85,11 +86,19 @@ func MultilevelRecursive(g *graph.Graph, k int, opt MultilevelOptions) (Result, 
 // subgraphs, writing final part ids into part.
 type recursiveBisector struct {
 	opt  MultilevelOptions
+	seed int64 // effective seed; each split derives its own stream
 	part []int32
 	// bisect computes a 2-way split of w with the given target weight
 	// fraction for side 0; returns side ids (0/1) per wgraph vertex.
 	bisect func(w *wgraph, frac float64, opt MultilevelOptions, rng *rand.Rand) ([]int32, error)
 	err    error
+}
+
+// splitSeed derives the per-split seed: the effective user seed mixed
+// with the (base, k) recursion coordinates through splitmix64 so every
+// subproblem gets an independent stream.
+func (rb *recursiveBisector) splitSeed(base, k int) int64 {
+	return int64(splitmix64(uint64(rb.seed) ^ uint64(base)*0x9e3779b97f4a7c15 ^ uint64(k)))
 }
 
 func (rb *recursiveBisector) split(w *wgraph, verts []int32, base, k int) {
@@ -105,7 +114,7 @@ func (rb *recursiveBisector) split(w *wgraph, verts []int32, base, k int) {
 	kl := k / 2
 	kr := k - kl
 	frac := float64(kl) / float64(k)
-	rng := rand.New(rand.NewSource(rb.opt.Seed + int64(base)*1315423911 + int64(k)))
+	rng := sketch.NewRNG(rb.splitSeed(base, k))
 	side, err := rb.bisect(w, frac, rb.opt, rng)
 	if err != nil {
 		rb.err = err
@@ -182,7 +191,7 @@ func inducedSplit(w *wgraph, verts []int32, side []int32) (*wgraph, []int32, *wg
 // multilevelBisect bisects a weighted graph with the full multilevel
 // pipeline, aiming for weight fraction frac on side 0.
 func multilevelBisect(w *wgraph, frac float64, opt MultilevelOptions, rng *rand.Rand) ([]int32, error) {
-	levels, maps := coarsenToSize(w, 2*opt.CoarsenTarget, rng)
+	levels, maps := coarsenHierarchy(w, 2*opt.CoarsenTarget, int64(rng.Uint64()))
 	coarsest := levels[len(levels)-1]
 	side := growBisection(coarsest, frac, rng)
 	refineBisection(coarsest, side, frac, opt, rng)
@@ -197,4 +206,30 @@ func multilevelBisect(w *wgraph, frac float64, opt MultilevelOptions, rng *rand.
 		refineBisection(fine, side, frac, opt, rng)
 	}
 	return side, nil
+}
+
+// coarsenHierarchy runs the workspace coarsener over a standalone
+// weighted graph and copies the hierarchy out: levels (finest first,
+// levels[0] == w) and the fine-to-coarse maps (maps[i] maps level i to
+// level i+1 ids). Used by the bisection and spectral paths, which own
+// their levels across recursive splits.
+func coarsenHierarchy(w *wgraph, target int, seed int64) (levels []*wgraph, maps [][]int32) {
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.primeLevel0(wview{off: w.offsets, adj: w.adj, ew: w.ew, vw: w.vw})
+	nl := ws.coarsenToSize(target, seed, 1)
+	levels = make([]*wgraph, nl)
+	levels[0] = w
+	maps = make([][]int32, nl-1)
+	for li := 1; li < nl; li++ {
+		lv := &ws.lv[li]
+		levels[li] = &wgraph{
+			offsets: slices.Clone(lv.off),
+			adj:     slices.Clone(lv.adj),
+			ew:      slices.Clone(lv.ew),
+			vw:      slices.Clone(lv.vw),
+		}
+		maps[li-1] = slices.Clone(ws.lv[li-1].coarseOf)
+	}
+	return levels, maps
 }

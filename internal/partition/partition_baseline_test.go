@@ -1,0 +1,421 @@
+package partition
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"snap/internal/generate"
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// This file keeps the seed-era serial multilevel k-way implementation
+// verbatim (baseline* names) as the quality oracle for the parallel
+// engine: on every gated instance the new partitioner's edge cut must
+// stay within tolerance of what the old code produced. Mirrors the
+// move_baseline_test.go precedent in internal/community.
+
+// baselineQualityTolerance allows the parallel engine's cut to exceed
+// the seed-era cut by at most 10% on the gated instances.
+const baselineQualityTolerance = 1.10
+
+func TestKWayEdgecutNoWorseThanBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality gate runs the serial baseline partitioner")
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+		seed int64
+	}{
+		{"mesh40x40", generate.RoadMesh(40, 40, 0, 1), 8, 1},
+		{"mesh64x64", generate.RoadMesh(64, 64, 0, 2), 16, 2},
+		{"rmat14", generate.RMAT(1<<14, 8<<14, generate.DefaultRMAT(), 3), 32, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := baselineMultilevelKWay(tc.g, tc.k, MultilevelOptions{Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MultilevelKWay(tc.g, tc.k, MultilevelOptions{Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			limit := int64(float64(want.EdgeCut) * baselineQualityTolerance)
+			if got.EdgeCut > limit {
+				t.Fatalf("cut %d exceeds baseline %d by more than %.0f%%",
+					got.EdgeCut, want.EdgeCut, (baselineQualityTolerance-1)*100)
+			}
+			t.Logf("cut %d vs baseline %d", got.EdgeCut, want.EdgeCut)
+		})
+	}
+}
+
+// ---- seed-era implementation, kept verbatim below this line ----
+
+func baselineMultilevelKWay(g *graph.Graph, k int, opt MultilevelOptions) (Result, error) {
+	if err := validateK(g, k); err != nil {
+		return Result{}, err
+	}
+	opt.fill()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	w := fromGraph(g)
+	levels, maps := baselineCoarsenToSize(w, k*opt.CoarsenTarget, rng)
+	coarsest := levels[len(levels)-1]
+	part := baselineGreedyGrow(coarsest, k, rng)
+	baselineRefineKWay(coarsest, part, k, opt, rng)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		coarseOf := maps[li]
+		finePart := make([]int32, fine.n())
+		for v := range finePart {
+			finePart[v] = part[coarseOf[v]]
+		}
+		part = finePart
+		baselineRefineKWay(fine, part, k, opt, rng)
+	}
+	return finish(g, part, k), nil
+}
+
+func baselineHeavyEdgeMatching(w *wgraph, rng *rand.Rand) []int32 {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		best := int32(-1)
+		var bestW int64
+		for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+			u := w.adj[a]
+			if u == v || match[u] != -1 {
+				continue
+			}
+			if w.ew[a] > bestW || (w.ew[a] == bestW && best == -1) {
+				best, bestW = u, w.ew[a]
+			}
+		}
+		if best == -1 {
+			match[v] = v
+		} else {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	return match
+}
+
+func baselineCoarsen(w *wgraph, match []int32) (*wgraph, []int32) {
+	n := w.n()
+	coarseOf := make([]int32, n)
+	for i := range coarseOf {
+		coarseOf[i] = -1
+	}
+	var cn int32
+	for v := int32(0); int(v) < n; v++ {
+		if coarseOf[v] != -1 {
+			continue
+		}
+		coarseOf[v] = cn
+		if m := match[v]; m != v && m != -1 {
+			coarseOf[m] = cn
+		}
+		cn++
+	}
+
+	workers := par.Workers()
+	if workers > n {
+		workers = max(1, n)
+	}
+	counts := make([][]int64, workers)
+	par.ForChunkedN(n, workers, func(ww, lo, hi int) {
+		c := make([]int64, cn)
+		for v := lo; v < hi; v++ {
+			cv := coarseOf[v]
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				if coarseOf[w.adj[a]] != cv {
+					c[cv]++
+				}
+			}
+		}
+		counts[ww] = c
+	})
+	for ww := range counts {
+		if counts[ww] == nil {
+			counts[ww] = make([]int64, cn)
+		}
+	}
+	bucketOff := make([]int64, cn+1)
+	total := par.CursorsFromCounts(counts, bucketOff)
+
+	arcs := make([]ce, total)
+	par.ForChunkedN(n, workers, func(ww, lo, hi int) {
+		cur := counts[ww]
+		for v := lo; v < hi; v++ {
+			cv := coarseOf[v]
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				cu := coarseOf[w.adj[a]]
+				if cu == cv {
+					continue
+				}
+				arcs[cur[cv]] = ce{to: cu, w: w.ew[a]}
+				cur[cv]++
+			}
+		}
+	})
+	vw := make([]int64, cn)
+	for v := 0; v < n; v++ {
+		vw[coarseOf[v]] += w.vw[v]
+	}
+
+	uniq := make([]int64, cn)
+	sizes := make([]int64, cn)
+	for cv := int32(0); cv < cn; cv++ {
+		sizes[cv] = bucketOff[cv+1] - bucketOff[cv]
+	}
+	par.ForDegreeAware(sizes, workers, func(ww, lo, hi int) {
+		for cv := lo; cv < hi; cv++ {
+			b := arcs[bucketOff[cv]:bucketOff[cv+1]]
+			slices.SortFunc(b, ceLess)
+			k := 0
+			for i := 0; i < len(b); {
+				j := i
+				var sum int64
+				for j < len(b) && b[j].to == b[i].to {
+					sum += b[j].w
+					j++
+				}
+				b[k] = ce{to: b[i].to, w: sum}
+				k++
+				i = j
+			}
+			uniq[cv] = int64(k)
+		}
+	})
+
+	out := &wgraph{vw: vw, offsets: par.PrefixSum(uniq)}
+	out.adj = make([]int32, out.offsets[cn])
+	out.ew = make([]int64, out.offsets[cn])
+	par.ForDegreeAware(uniq, workers, func(ww, lo, hi int) {
+		for cv := lo; cv < hi; cv++ {
+			base := out.offsets[cv]
+			blo := bucketOff[cv]
+			for i := int64(0); i < uniq[cv]; i++ {
+				out.adj[base+i] = arcs[blo+i].to
+				out.ew[base+i] = arcs[blo+i].w
+			}
+		}
+	})
+	return out, coarseOf
+}
+
+func baselineCoarsenToSize(w *wgraph, target int, rng *rand.Rand) (levels []*wgraph, maps [][]int32) {
+	levels = []*wgraph{w}
+	for levels[len(levels)-1].n() > target {
+		cur := levels[len(levels)-1]
+		match := baselineHeavyEdgeMatching(cur, rng)
+		next, coarseOf := baselineCoarsen(cur, match)
+		if next.n() >= cur.n()*19/20 {
+			break
+		}
+		levels = append(levels, next)
+		maps = append(maps, coarseOf)
+	}
+	return levels, maps
+}
+
+func baselineGreedyGrow(w *wgraph, k int, rng *rand.Rand) []int32 {
+	n := w.n()
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = -1
+	}
+	total := w.totalVW()
+	weights := make([]int64, k)
+	queue := make([]int32, 0, 256)
+	unassigned := n
+	assignedW := int64(0)
+	for p := 0; p < k-1 && unassigned > 0; p++ {
+		ideal := float64(total-assignedW) / float64(k-p)
+		seed := int32(-1)
+		for tries := 0; tries < 64; tries++ {
+			c := int32(rng.Intn(n))
+			if part[c] == -1 {
+				seed = c
+				break
+			}
+		}
+		if seed == -1 {
+			for v := int32(0); int(v) < n; v++ {
+				if part[v] == -1 {
+					seed = v
+					break
+				}
+			}
+		}
+		queue = append(queue[:0], seed)
+		part[seed] = int32(p)
+		weights[p] += w.vw[seed]
+		unassigned--
+		for head := 0; head < len(queue) && float64(weights[p]) < ideal; head++ {
+			v := queue[head]
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				u := w.adj[a]
+				if part[u] != -1 {
+					continue
+				}
+				part[u] = int32(p)
+				weights[p] += w.vw[u]
+				unassigned--
+				queue = append(queue, u)
+				if float64(weights[p]) >= ideal {
+					break
+				}
+			}
+		}
+		assignedW += weights[p]
+	}
+	for v := 0; v < n; v++ {
+		if part[v] == -1 {
+			part[v] = int32(k - 1)
+			weights[k-1] += w.vw[v]
+		}
+	}
+	return part
+}
+
+func baselineRefineKWay(w *wgraph, part []int32, k int, opt MultilevelOptions, rng *rand.Rand) {
+	n := w.n()
+	total := w.totalVW()
+	ideal := float64(total) / float64(k)
+	maxW := int64(ideal * (1 + opt.Imbalance))
+	minW := int64(ideal * (1 - opt.Imbalance))
+	weights := make([]int64, k)
+	for v := 0; v < n; v++ {
+		weights[part[v]] += w.vw[v]
+	}
+	order := rng.Perm(n)
+	conn := make(map[int32]int64, 8)
+	for pass := 0; pass < opt.RefinePasses; pass++ {
+		moves := 0
+		for _, vi := range order {
+			v := int32(vi)
+			pv := part[v]
+			if weights[pv]-w.vw[v] < minW {
+				continue
+			}
+			for key := range conn {
+				delete(conn, key)
+			}
+			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+				conn[part[w.adj[a]]] += w.ew[a]
+			}
+			internal := conn[pv]
+			bestP := pv
+			var bestGain int64
+			for p, ext := range conn {
+				if p == pv {
+					continue
+				}
+				if weights[p]+w.vw[v] > maxW {
+					continue
+				}
+				gain := ext - internal
+				if gain > bestGain ||
+					(gain == bestGain && gain > 0 && weights[p] < weights[bestP]) {
+					bestGain = gain
+					bestP = p
+				}
+			}
+			if bestP != pv && bestGain > 0 {
+				weights[pv] -= w.vw[v]
+				weights[bestP] += w.vw[v]
+				part[v] = bestP
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	baselineRebalance(w, part, k, weights, maxW)
+}
+
+func baselineRebalance(w *wgraph, part []int32, k int, weights []int64, maxW int64) {
+	n := w.n()
+	for p := int32(0); int(p) < k; p++ {
+		guard := 0
+		for weights[p] > maxW && guard < n {
+			guard++
+			bestV := int32(-1)
+			bestP := int32(-1)
+			var bestGain int64 = -1 << 62
+			for v := int32(0); int(v) < n; v++ {
+				if part[v] != p {
+					continue
+				}
+				var internal int64
+				extBest := int64(-1 << 62)
+				extPart := int32(-1)
+				ext := map[int32]int64{}
+				for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
+					q := part[w.adj[a]]
+					if q == p {
+						internal += w.ew[a]
+					} else {
+						ext[q] += w.ew[a]
+					}
+				}
+				for q, x := range ext {
+					if weights[q]+w.vw[v] > maxW {
+						continue
+					}
+					if x > extBest || (x == extBest && weights[q] < weights[extPart]) {
+						extBest = x
+						extPart = q
+					}
+				}
+				if extPart == -1 {
+					continue
+				}
+				if g := extBest - internal; g > bestGain {
+					bestGain = g
+					bestV = v
+					bestP = extPart
+				}
+			}
+			if bestV == -1 {
+				lightest := int32(0)
+				for q := int32(1); int(q) < k; q++ {
+					if weights[q] < weights[lightest] {
+						lightest = q
+					}
+				}
+				if lightest == p {
+					break
+				}
+				for v := int32(0); int(v) < n; v++ {
+					if part[v] == p {
+						bestV = v
+						break
+					}
+				}
+				if bestV == -1 {
+					break
+				}
+				bestP = lightest
+			}
+			weights[p] -= w.vw[bestV]
+			weights[bestP] += w.vw[bestV]
+			part[bestV] = bestP
+		}
+	}
+}

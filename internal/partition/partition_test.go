@@ -2,7 +2,7 @@ package partition
 
 import (
 	"errors"
-	"math/rand"
+
 	"testing"
 
 	"snap/internal/generate"
@@ -193,7 +193,7 @@ func TestSpectralNoConvergenceSurfaces(t *testing.T) {
 func TestCoarsenPreservesTotals(t *testing.T) {
 	g := generate.RMAT(1000, 4000, generate.DefaultRMAT(), 9)
 	w := fromGraph(g)
-	levels, maps := coarsenToSize(w, 64, newTestRng())
+	levels, maps := coarsenHierarchy(w, 64, 42)
 	if len(levels) < 2 {
 		t.Fatal("no coarsening happened")
 	}
@@ -218,28 +218,19 @@ func TestCoarsenPreservesTotals(t *testing.T) {
 
 func TestHeavyEdgeMatchingIsMatching(t *testing.T) {
 	g := generate.RMAT(500, 2000, generate.DefaultRMAT(), 10)
-	w := fromGraph(g)
-	match := w.heavyEdgeMatching(newTestRng())
-	for v := int32(0); int(v) < w.n(); v++ {
-		m := match[v]
-		if m == -1 {
-			t.Fatalf("vertex %d unprocessed", v)
-		}
-		if m != v && match[m] != v {
-			t.Fatalf("matching not symmetric at %d<->%d", v, m)
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	ws.primeLevel0(wview{off: g.Offsets, adj: g.Adj})
+	for _, workers := range []int{1, 3} {
+		ws.matchLevel(ws.lv[0].view, 0xdecafbad, workers, 1<<30)
+		for v := int32(0); int(v) < g.NumVertices(); v++ {
+			m := ws.match[v]
+			if m == -1 {
+				t.Fatalf("workers=%d: vertex %d unprocessed", workers, v)
+			}
+			if m != v && ws.match[m] != v {
+				t.Fatalf("workers=%d: matching not symmetric at %d<->%d", workers, v, m)
+			}
 		}
 	}
 }
-
-func newTestRng() *rand.Rand { return rand.New(&randSource{state: 42}) }
-
-// randSource adapts a tiny deterministic generator to *rand.Rand usage
-// in tests via math/rand.New.
-type randSource struct{ state uint64 }
-
-func (r *randSource) Int63() int64 {
-	r.state = r.state*6364136223846793005 + 1442695040888963407
-	return int64(r.state >> 1)
-}
-
-func (r *randSource) Seed(s int64) { r.state = uint64(s) }

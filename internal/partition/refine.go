@@ -2,215 +2,9 @@ package partition
 
 import "math/rand"
 
-// greedyGrow produces an initial k-way partition of a weighted graph by
-// greedy graph growing: each part grows a BFS region from a random
-// unassigned seed until it reaches the ideal weight; leftovers join
-// their lightest adjacent part (or the lightest part overall).
-func greedyGrow(w *wgraph, k int, rng *rand.Rand) []int32 {
-	n := w.n()
-	part := make([]int32, n)
-	for i := range part {
-		part[i] = -1
-	}
-	total := w.totalVW()
-	weights := make([]int64, k)
-	queue := make([]int32, 0, 256)
-	unassigned := n
-	assignedW := int64(0)
-	for p := 0; p < k-1 && unassigned > 0; p++ {
-		// Adaptive target: divide the remaining weight over the
-		// remaining parts so early overshoot cannot starve the last
-		// parts into (near-)emptiness.
-		ideal := float64(total-assignedW) / float64(k-p)
-		// Random unassigned seed.
-		seed := int32(-1)
-		for tries := 0; tries < 64; tries++ {
-			c := int32(rng.Intn(n))
-			if part[c] == -1 {
-				seed = c
-				break
-			}
-		}
-		if seed == -1 {
-			for v := int32(0); int(v) < n; v++ {
-				if part[v] == -1 {
-					seed = v
-					break
-				}
-			}
-		}
-		queue = append(queue[:0], seed)
-		part[seed] = int32(p)
-		weights[p] += w.vw[seed]
-		unassigned--
-		for head := 0; head < len(queue) && float64(weights[p]) < ideal; head++ {
-			v := queue[head]
-			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-				u := w.adj[a]
-				if part[u] != -1 {
-					continue
-				}
-				part[u] = int32(p)
-				weights[p] += w.vw[u]
-				unassigned--
-				queue = append(queue, u)
-				if float64(weights[p]) >= ideal {
-					break
-				}
-			}
-		}
-		assignedW += weights[p]
-	}
-	// Everything left goes to the last part, then rebalance strays.
-	for v := 0; v < n; v++ {
-		if part[v] == -1 {
-			part[v] = int32(k - 1)
-			weights[k-1] += w.vw[v]
-		}
-	}
-	return part
-}
-
-// refineKWay performs greedy boundary refinement: passes over the
-// vertices in random order moving each to the adjacent part with the
-// best edge-cut gain, subject to the balance constraint.
-func refineKWay(w *wgraph, part []int32, k int, opt MultilevelOptions, rng *rand.Rand) {
-	n := w.n()
-	total := w.totalVW()
-	ideal := float64(total) / float64(k)
-	maxW := int64(ideal * (1 + opt.Imbalance))
-	// Lower bound keeps small parts from evaporating during
-	// refinement (an empty part can never be refilled by gain moves).
-	minW := int64(ideal * (1 - opt.Imbalance))
-	weights := make([]int64, k)
-	for v := 0; v < n; v++ {
-		weights[part[v]] += w.vw[v]
-	}
-	order := rng.Perm(n)
-	conn := make(map[int32]int64, 8) // part -> incident edge weight
-	for pass := 0; pass < opt.RefinePasses; pass++ {
-		moves := 0
-		for _, vi := range order {
-			v := int32(vi)
-			pv := part[v]
-			if weights[pv]-w.vw[v] < minW {
-				continue
-			}
-			for key := range conn {
-				delete(conn, key)
-			}
-			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-				conn[part[w.adj[a]]] += w.ew[a]
-			}
-			internal := conn[pv]
-			bestP := pv
-			var bestGain int64
-			for p, ext := range conn {
-				if p == pv {
-					continue
-				}
-				if weights[p]+w.vw[v] > maxW {
-					continue
-				}
-				gain := ext - internal
-				if gain > bestGain ||
-					(gain == bestGain && gain > 0 && weights[p] < weights[bestP]) {
-					bestGain = gain
-					bestP = p
-				}
-			}
-			if bestP != pv && bestGain > 0 {
-				weights[pv] -= w.vw[v]
-				weights[bestP] += w.vw[v]
-				part[v] = bestP
-				moves++
-			}
-		}
-		if moves == 0 {
-			break
-		}
-	}
-	rebalance(w, part, k, weights, maxW)
-}
-
-// rebalance fixes any part exceeding the weight cap by shedding its
-// cheapest boundary vertices into the lightest adjacent part.
-func rebalance(w *wgraph, part []int32, k int, weights []int64, maxW int64) {
-	n := w.n()
-	for p := int32(0); int(p) < k; p++ {
-		guard := 0
-		for weights[p] > maxW && guard < n {
-			guard++
-			// Find the boundary vertex of p with the best (least bad)
-			// move gain.
-			bestV := int32(-1)
-			bestP := int32(-1)
-			var bestGain int64 = -1 << 62
-			for v := int32(0); int(v) < n; v++ {
-				if part[v] != p {
-					continue
-				}
-				var internal int64
-				extBest := int64(-1 << 62)
-				extPart := int32(-1)
-				ext := map[int32]int64{}
-				for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-					q := part[w.adj[a]]
-					if q == p {
-						internal += w.ew[a]
-					} else {
-						ext[q] += w.ew[a]
-					}
-				}
-				for q, x := range ext {
-					if weights[q]+w.vw[v] > maxW {
-						continue
-					}
-					if x > extBest || (x == extBest && weights[q] < weights[extPart]) {
-						extBest = x
-						extPart = q
-					}
-				}
-				if extPart == -1 {
-					continue
-				}
-				if g := extBest - internal; g > bestGain {
-					bestGain = g
-					bestV = v
-					bestP = extPart
-				}
-			}
-			if bestV == -1 {
-				// No adjacent feasible destination: force-move the
-				// loosest boundary vertex of p to the globally
-				// lightest part. This sacrifices cut for balance,
-				// which is the contract of the rebalancing pass.
-				lightest := int32(0)
-				for q := int32(1); int(q) < k; q++ {
-					if weights[q] < weights[lightest] {
-						lightest = q
-					}
-				}
-				if lightest == p {
-					break
-				}
-				for v := int32(0); int(v) < n; v++ {
-					if part[v] == p {
-						bestV = v
-						break
-					}
-				}
-				if bestV == -1 {
-					break
-				}
-				bestP = lightest
-			}
-			weights[p] -= w.vw[bestV]
-			weights[bestP] += w.vw[bestV]
-			part[bestV] = bestP
-		}
-	}
-}
+// Bisection-side refinement helpers used by the recursive-bisection and
+// spectral pipelines. The direct k-way engine's initial partition and
+// refinement live in kway.go on the pooled Workspace.
 
 // growBisection seeds side 0 from a random vertex and grows it to the
 // target fraction of total weight; the rest is side 1.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"snap/internal/graph"
+	"snap/internal/sketch"
 )
 
 // SpectralOptions configures the Chaco-style spectral partitioners.
@@ -75,6 +76,7 @@ func spectralRecursive(g *graph.Graph, k int, opt SpectralOptions, fiedler fiedl
 	mlOpt := MultilevelOptions{Imbalance: opt.imbalance, RefinePasses: opt.refinePasses, Seed: opt.Seed}
 	rb := &recursiveBisector{
 		opt:  mlOpt,
+		seed: sketch.EffectiveSeed(opt.Seed),
 		part: part,
 		bisect: func(w *wgraph, frac float64, _ MultilevelOptions, rng *rand.Rand) ([]int32, error) {
 			return spectralBisect(w, frac, opt, fiedler, rng)
@@ -233,7 +235,7 @@ func normalize(x []float64) bool {
 // interpolated upward, and polished at each level by power iteration
 // on (cI − L) with a Rayleigh-quotient residual test.
 func fiedlerRQI(w *wgraph, opt SpectralOptions, rng *rand.Rand) ([]float64, error) {
-	levels, maps := coarsenToSize(w, 64, rng)
+	levels, maps := coarsenHierarchy(w, 64, int64(rng.Uint64()))
 	coarsest := levels[len(levels)-1]
 	x := randomVector(coarsest.n(), rng)
 	if _, err := polish(coarsest, x, opt.MaxIterations, opt.Tolerance); err != nil {

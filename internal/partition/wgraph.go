@@ -1,16 +1,15 @@
 package partition
 
 import (
-	"math/rand"
-	"slices"
-
 	"snap/internal/graph"
-	"snap/internal/par"
 )
 
-// wgraph is the weighted working graph of the multilevel pipeline:
-// vertices carry weights (#fine vertices collapsed into them) and edges
-// carry weights (#fine edges collapsed into them).
+// wgraph is the weighted working graph of the recursive-bisection and
+// spectral pipelines: vertices carry weights (#fine vertices collapsed
+// into them) and edges carry weights (#fine edges collapsed into them).
+// The direct k-way engine works on wview levels inside a Workspace
+// instead; wgraph survives because the bisection paths own induced
+// subgraphs and hierarchies across recursive splits.
 type wgraph struct {
 	offsets []int64
 	adj     []int32
@@ -53,186 +52,4 @@ func fromGraph(g *graph.Graph) *wgraph {
 		w.vw[i] = 1
 	}
 	return w
-}
-
-// heavyEdgeMatching computes a matching that prefers heavy edges
-// (visiting vertices in random order, each unmatched vertex matches its
-// heaviest unmatched neighbor). match[v] == v means unmatched.
-func (w *wgraph) heavyEdgeMatching(rng *rand.Rand) []int32 {
-	n := w.n()
-	match := make([]int32, n)
-	for i := range match {
-		match[i] = -1
-	}
-	order := rng.Perm(n)
-	for _, vi := range order {
-		v := int32(vi)
-		if match[v] != -1 {
-			continue
-		}
-		best := int32(-1)
-		var bestW int64
-		for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-			u := w.adj[a]
-			if u == v || match[u] != -1 {
-				continue
-			}
-			if w.ew[a] > bestW || (w.ew[a] == bestW && best == -1) {
-				best, bestW = u, w.ew[a]
-			}
-		}
-		if best == -1 {
-			match[v] = v
-		} else {
-			match[v] = best
-			match[best] = v
-		}
-	}
-	return match
-}
-
-// ce is a coarse arc observation: target coarse vertex and the weight
-// of one contracted fine edge.
-type ce struct {
-	to int32
-	w  int64
-}
-
-func ceLess(a, b ce) int { return int(a.to) - int(b.to) }
-
-// coarsen contracts the matching into a coarser wgraph and returns it
-// with the fine-to-coarse vertex map.
-//
-// Edge aggregation uses the same counting-sort assembly pattern as the
-// parallel CSR builder: per-worker histograms over fine-vertex chunks,
-// a prefix/cursor pass, atomics-free scatter into per-coarse-vertex
-// buckets, then a parallel per-bucket sort (one shared comparison
-// function — no closure allocation per bucket) with in-pass collapse
-// of parallel edges. Weight sums are integers, so the result is
-// deterministic for any worker count.
-func (w *wgraph) coarsen(match []int32) (*wgraph, []int32) {
-	n := w.n()
-	coarseOf := make([]int32, n)
-	for i := range coarseOf {
-		coarseOf[i] = -1
-	}
-	var cn int32
-	for v := int32(0); int(v) < n; v++ {
-		if coarseOf[v] != -1 {
-			continue
-		}
-		coarseOf[v] = cn
-		if m := match[v]; m != v && m != -1 {
-			coarseOf[m] = cn
-		}
-		cn++
-	}
-
-	workers := par.Workers()
-	if workers > n {
-		workers = max(1, n)
-	}
-	// Histogram pass: surviving (non-contracted) arcs per coarse vertex.
-	counts := make([][]int64, workers)
-	par.ForChunkedN(n, workers, func(ww, lo, hi int) {
-		c := make([]int64, cn)
-		for v := lo; v < hi; v++ {
-			cv := coarseOf[v]
-			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-				if coarseOf[w.adj[a]] != cv {
-					c[cv]++
-				}
-			}
-		}
-		counts[ww] = c
-	})
-	for ww := range counts {
-		if counts[ww] == nil {
-			counts[ww] = make([]int64, cn)
-		}
-	}
-	bucketOff := make([]int64, cn+1)
-	total := par.CursorsFromCounts(counts, bucketOff)
-
-	// Scatter pass into disjoint cursor ranges, then aggregate vertex
-	// weights serially (O(n), cheap next to the arc work).
-	arcs := make([]ce, total)
-	par.ForChunkedN(n, workers, func(ww, lo, hi int) {
-		cur := counts[ww]
-		for v := lo; v < hi; v++ {
-			cv := coarseOf[v]
-			for a := w.offsets[v]; a < w.offsets[v+1]; a++ {
-				cu := coarseOf[w.adj[a]]
-				if cu == cv {
-					continue // contracted (or self) edge
-				}
-				arcs[cur[cv]] = ce{to: cu, w: w.ew[a]}
-				cur[cv]++
-			}
-		}
-	})
-	vw := make([]int64, cn)
-	for v := 0; v < n; v++ {
-		vw[coarseOf[v]] += w.vw[v]
-	}
-
-	// Per-bucket sort + collapse, degree-aware across workers.
-	uniq := make([]int64, cn)
-	sizes := make([]int64, cn)
-	for cv := int32(0); cv < cn; cv++ {
-		sizes[cv] = bucketOff[cv+1] - bucketOff[cv]
-	}
-	par.ForDegreeAware(sizes, workers, func(ww, lo, hi int) {
-		for cv := lo; cv < hi; cv++ {
-			b := arcs[bucketOff[cv]:bucketOff[cv+1]]
-			slices.SortFunc(b, ceLess)
-			k := 0
-			for i := 0; i < len(b); {
-				j := i
-				var sum int64
-				for j < len(b) && b[j].to == b[i].to {
-					sum += b[j].w
-					j++
-				}
-				b[k] = ce{to: b[i].to, w: sum}
-				k++
-				i = j
-			}
-			uniq[cv] = int64(k)
-		}
-	})
-
-	out := &wgraph{vw: vw, offsets: par.PrefixSum(uniq)}
-	out.adj = make([]int32, out.offsets[cn])
-	out.ew = make([]int64, out.offsets[cn])
-	par.ForDegreeAware(uniq, workers, func(ww, lo, hi int) {
-		for cv := lo; cv < hi; cv++ {
-			base := out.offsets[cv]
-			blo := bucketOff[cv]
-			for i := int64(0); i < uniq[cv]; i++ {
-				out.adj[base+i] = arcs[blo+i].to
-				out.ew[base+i] = arcs[blo+i].w
-			}
-		}
-	})
-	return out, coarseOf
-}
-
-// coarsenToSize repeatedly matches and contracts until the graph has at
-// most target vertices or coarsening stalls. It returns the hierarchy
-// (finest first) and the fine-to-coarse maps (maps[i] maps level i to
-// level i+1 ids).
-func coarsenToSize(w *wgraph, target int, rng *rand.Rand) (levels []*wgraph, maps [][]int32) {
-	levels = []*wgraph{w}
-	for levels[len(levels)-1].n() > target {
-		cur := levels[len(levels)-1]
-		match := cur.heavyEdgeMatching(rng)
-		next, coarseOf := cur.coarsen(match)
-		if next.n() >= cur.n()*19/20 {
-			break // stalled: mostly unmatched vertices
-		}
-		levels = append(levels, next)
-		maps = append(maps, coarseOf)
-	}
-	return levels, maps
 }

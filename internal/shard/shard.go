@@ -1,0 +1,239 @@
+// Package shard executes kernels shard-locally over a
+// partition-blocked graph: vertices are relabeled so each partition
+// part occupies one contiguous id block (partition.BlockedPerm +
+// graph.Relabel), a shard owns exactly its block, and kernels run
+// bulk-synchronously — each superstep scans only shard-local state,
+// cross-shard traffic is batched into per-(source, destination)
+// outboxes, and owners apply inbox messages serially in source-shard
+// order. Shards never write another shard's state and never read
+// state another shard mutates in the same phase, so runs are race-free
+// and bit-identical at every worker count. This is the in-process
+// stepping stone to multi-process scale-out: the outbox exchange is
+// exactly the message batch a distributed runtime would put on the
+// wire, while single-address-space reads of frozen per-iteration
+// arrays (PageRank's share vector) stay free.
+package shard
+
+import (
+	"fmt"
+
+	"snap/internal/graph"
+	"snap/internal/par"
+)
+
+// Graph is a partition-blocked graph divided into k contiguous vertex
+// shards. Build one with New from graph.Relabel output and the block
+// bounds from partition.BlockedPerm.
+type Graph struct {
+	g      *graph.Graph
+	bounds []int32
+	owner  []int32 // owner[v] = shard owning vertex v, O(1) lookup
+}
+
+// New wraps a partition-blocked graph with its shard bounds: shard p
+// owns the contiguous vertex range [bounds[p], bounds[p+1]). bounds
+// must start at 0, end at NumVertices, and be nondecreasing.
+func New(g *graph.Graph, bounds []int32) (*Graph, error) {
+	n := g.NumVertices()
+	if len(bounds) < 2 || bounds[0] != 0 || int(bounds[len(bounds)-1]) != n {
+		return nil, fmt.Errorf("shard: bounds must span [0, %d]", n)
+	}
+	for p := 1; p < len(bounds); p++ {
+		if bounds[p] < bounds[p-1] {
+			return nil, fmt.Errorf("shard: bounds not monotone at %d", p)
+		}
+	}
+	s := &Graph{g: g, bounds: bounds, owner: make([]int32, n)}
+	k := len(bounds) - 1
+	par.ForEachN(k, par.Workers(), func(p int) {
+		for v := bounds[p]; v < bounds[p+1]; v++ {
+			s.owner[v] = int32(p)
+		}
+	})
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Graph) NumShards() int { return len(s.bounds) - 1 }
+
+// Bounds returns the shard boundary array (length NumShards+1).
+func (s *Graph) Bounds() []int32 { return s.bounds }
+
+// Graph returns the underlying (relabeled) graph.
+func (s *Graph) Graph() *graph.Graph { return s.g }
+
+// BFS runs a level-synchronous breadth-first search from src and
+// returns hop distances (-1 for unreached). Each superstep has two
+// phases: shards scan their local frontier, claiming owned neighbors
+// directly and appending remote candidates to the outbox for the
+// neighbor's owner (no remote reads — a remote distance may be mid-
+// write by its owner); then owners drain their inboxes in source-shard
+// order, claiming still-unvisited vertices. Every write is
+// owner-exclusive and the apply order is fixed, so distances are
+// bit-identical at every worker count. workers <= 0 means
+// par.Workers().
+func (s *Graph) BFS(src int32, workers int) []int32 {
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	g, k := s.g, s.NumShards()
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if n == 0 || src < 0 || int(src) >= n {
+		return dist
+	}
+	cur := make([][]int32, k)
+	next := make([][]int32, k)
+	outbox := make([][][]int32, k)
+	for p := 0; p < k; p++ {
+		outbox[p] = make([][]int32, k)
+	}
+	dist[src] = 0
+	home := s.owner[src]
+	cur[home] = append(cur[home], src)
+	for depth := int32(1); ; depth++ {
+		// Scan phase: expand local frontiers, batch remote candidates.
+		par.ForEachN(k, workers, func(p int) {
+			nxt := next[p][:0]
+			out := outbox[p]
+			for _, v := range cur[p] {
+				for a := g.Offsets[v]; a < g.Offsets[v+1]; a++ {
+					u := g.Adj[a]
+					if o := s.owner[u]; o != int32(p) {
+						out[o] = append(out[o], u)
+					} else if dist[u] == -1 {
+						dist[u] = depth
+						nxt = append(nxt, u)
+					}
+				}
+			}
+			next[p] = nxt
+		})
+		// Exchange phase: owners drain inboxes in source-shard order.
+		par.ForEachN(k, workers, func(d int) {
+			nxt := next[d]
+			for p := 0; p < k; p++ {
+				for _, u := range outbox[p][d] {
+					if dist[u] == -1 {
+						dist[u] = depth
+						nxt = append(nxt, u)
+					}
+				}
+			}
+			next[d] = nxt
+		})
+		active := false
+		for p := 0; p < k; p++ {
+			for d := 0; d < k; d++ {
+				outbox[p][d] = outbox[p][d][:0]
+			}
+			cur[p], next[p] = next[p], cur[p][:0]
+			if len(cur[p]) > 0 {
+				active = true
+			}
+		}
+		if !active {
+			return dist
+		}
+	}
+}
+
+// PageRankOptions configures the sharded PageRank power iteration;
+// semantics mirror centrality.PageRankOptions.
+type PageRankOptions struct {
+	Damping       float64 // default 0.85
+	Tolerance     float64 // L1 threshold, default 1e-8
+	MaxIterations int     // default 200
+	Workers       int     // <= 0 means par.Workers()
+}
+
+func (o *PageRankOptions) fill() {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.85
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-8
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.Workers <= 0 {
+		o.Workers = par.Workers()
+	}
+}
+
+// PageRank computes the stationary random-surfer distribution with
+// shard-parallel power iteration, matching centrality.PageRank
+// semantics (undirected pull formulation, uniform dangling
+// redistribution, L1 convergence). Each shard computes shares,
+// dangling mass, ranks, and deltas only for its owned block; the share
+// vector is frozen during the pull phase, so cross-shard reads are
+// race-free, and on a partition-blocked layout most of them land
+// inside the shard's own contiguous block — the cache-locality win the
+// partitioner buys. Per-shard partial sums fold in shard order, so
+// results are bit-identical at every worker count.
+func (s *Graph) PageRank(opt PageRankOptions) []float64 {
+	opt.fill()
+	g, k := s.g, s.NumShards()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	next := make([]float64, n)
+	share := make([]float64, n)
+	partial := make([]float64, k)
+	for it := 0; it < opt.MaxIterations; it++ {
+		par.ForEachN(k, opt.Workers, func(p int) {
+			var dang float64
+			for v := s.bounds[p]; v < s.bounds[p+1]; v++ {
+				deg := g.Offsets[v+1] - g.Offsets[v]
+				if deg == 0 {
+					dang += rank[v]
+					share[v] = 0
+				} else {
+					share[v] = rank[v] / float64(deg)
+				}
+			}
+			partial[p] = dang
+		})
+		var dangling float64
+		for p := 0; p < k; p++ {
+			dangling += partial[p]
+		}
+		base := ((1-opt.Damping)*1 + opt.Damping*dangling) / float64(n)
+		par.ForEachN(k, opt.Workers, func(p int) {
+			var delta float64
+			for v := s.bounds[p]; v < s.bounds[p+1]; v++ {
+				var sum float64
+				for a := g.Offsets[v]; a < g.Offsets[v+1]; a++ {
+					sum += share[g.Adj[a]]
+				}
+				nv := base + opt.Damping*sum
+				next[v] = nv
+				d := nv - rank[v]
+				if d < 0 {
+					d = -d
+				}
+				delta += d
+			}
+			partial[p] = delta
+		})
+		var delta float64
+		for p := 0; p < k; p++ {
+			delta += partial[p]
+		}
+		rank, next = next, rank
+		if delta < opt.Tolerance {
+			break
+		}
+	}
+	return rank
+}

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"snap/internal/bfs"
+	"snap/internal/centrality"
+	"snap/internal/generate"
+	"snap/internal/graph"
+	"snap/internal/partition"
+)
+
+// buildSharded runs the full blocked pipeline: partition the graph,
+// compute the blocked permutation, relabel, and wrap into shards.
+func buildSharded(t *testing.T, g *graph.Graph, k int) *Graph {
+	t.Helper()
+	res, err := partition.MultilevelKWay(g, k, partition.MultilevelOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, bounds, err := partition.BlockedPerm(g, res.Part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, _, err := graph.Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rg, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func shardTestGraphs() []struct {
+	name string
+	g    *graph.Graph
+	k    int
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"mesh24x24", generate.RoadMesh(24, 24, 0, 3), 4},
+		{"rmat11", generate.RMAT(1<<11, 8<<11, generate.DefaultRMAT(), 4), 8},
+		{"disconnected", generate.ErdosRenyi(500, 400, 5), 4},
+	}
+}
+
+// Sharded BFS must agree bit-for-bit with the serial reference on the
+// same (relabeled) graph, at every worker count.
+func TestShardBFSMatchesSerial(t *testing.T) {
+	for _, tc := range shardTestGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := buildSharded(t, tc.g, tc.k)
+			rg := s.Graph()
+			for _, src := range []int32{0, int32(rg.NumVertices() / 2)} {
+				want := bfs.Serial(rg, src, nil).Dist
+				ref := s.BFS(src, 1)
+				if !slices.Equal(ref, want) {
+					t.Fatalf("src %d: sharded BFS differs from serial reference", src)
+				}
+				for _, workers := range []int{2, 3} {
+					got := s.BFS(src, workers)
+					if !slices.Equal(got, ref) {
+						t.Fatalf("src %d workers %d: BFS not worker-invariant", src, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Sharded PageRank matches the centrality package on the same graph.
+// Per-row additions reassociate across the two implementations, so the
+// comparison is a tight float tolerance rather than bit equality; the
+// worker-invariance check within the sharded path IS bitwise.
+func TestShardPageRankMatchesCentrality(t *testing.T) {
+	for _, tc := range shardTestGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := buildSharded(t, tc.g, tc.k)
+			rg := s.Graph()
+			want := centrality.PageRank(rg, centrality.PageRankOptions{Workers: 1})
+			ref := s.PageRank(PageRankOptions{Workers: 1})
+			if len(ref) != len(want) {
+				t.Fatalf("length mismatch: %d vs %d", len(ref), len(want))
+			}
+			for v := range ref {
+				if math.Abs(ref[v]-want[v]) > 1e-9 {
+					t.Fatalf("vertex %d: sharded %g vs centrality %g", v, ref[v], want[v])
+				}
+			}
+			for _, workers := range []int{2, 3} {
+				got := s.PageRank(PageRankOptions{Workers: workers})
+				for v := range got {
+					if got[v] != ref[v] {
+						t.Fatalf("workers %d: PageRank not bit-identical at %d", workers, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestShardNewRejectsBadBounds(t *testing.T) {
+	g := generate.RoadMesh(8, 8, 0, 1)
+	n := int32(g.NumVertices())
+	for _, bounds := range [][]int32{
+		nil,
+		{0},
+		{0, n - 1},       // doesn't reach n
+		{1, n},           // doesn't start at 0
+		{0, n / 2, 1, n}, // not monotone
+	} {
+		if _, err := New(g, bounds); err == nil {
+			t.Fatalf("bounds %v accepted", bounds)
+		}
+	}
+	if _, err := New(g, []int32{0, n / 2, n}); err != nil {
+		t.Fatalf("valid bounds rejected: %v", err)
+	}
+}
+
+// BFS from an invalid source returns all -1 without panicking.
+func TestShardBFSInvalidSource(t *testing.T) {
+	g := generate.RoadMesh(8, 8, 0, 1)
+	s, err := New(g, []int32{0, int32(g.NumVertices())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int32{-1, int32(g.NumVertices())} {
+		for _, d := range s.BFS(src, 1) {
+			if d != -1 {
+				t.Fatalf("src %d: expected all -1", src)
+			}
+		}
+	}
+}

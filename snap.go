@@ -16,8 +16,10 @@
 //   - Approximate analytics: ApproxNeighborhood (HyperANF),
 //     EffectiveDiameter, SampledCloseness, NewDistanceOracle.
 //   - Community detection: GirvanNewman, PBD, PMA, PLA, Modularity.
-//   - Partitioning: MultilevelKWay, MultilevelRecursive, SpectralRQI,
-//     SpectralLanczos, EdgeCut.
+//   - Partitioning: Partition (parallel multilevel k-way),
+//     MultilevelRecursive, SpectralRQI, SpectralLanczos, EdgeCut —
+//     and the blocked layout it enables: BlockedPerm, Relabel,
+//     NewSharded (shard-local BFS/PageRank).
 //
 // Parallelism: every kernel obeys GOMAXPROCS (or an explicit Workers
 // option). See DESIGN.md for the architecture and EXPERIMENTS.md for
@@ -37,6 +39,7 @@ import (
 	"snap/internal/ingest"
 	"snap/internal/metrics"
 	"snap/internal/partition"
+	"snap/internal/shard"
 	"snap/internal/sketch"
 	"snap/internal/sssp"
 )
@@ -493,6 +496,89 @@ func SpectralLanczos(g *Graph, k int, opt SpectralOptions) (PartitionResult, err
 
 // EdgeCut counts edges crossing parts.
 func EdgeCut(g *Graph, part []int32) int64 { return partition.EdgeCut(g, part) }
+
+// PartitionOptions configures Partition, the high-level entry to the
+// parallel multilevel k-way engine.
+type PartitionOptions struct {
+	// K is the number of parts (required, >= 1; K == 1 trivially
+	// assigns everything to part 0).
+	K int
+	// Workers caps parallelism; <= 0 means par.Workers(). The
+	// partition is bit-identical at every worker count.
+	Workers int
+	// Seed drives matching and seeding randomness; 0 means the pinned
+	// repo default.
+	Seed int64
+	// Imbalance is the allowed part-weight overrun (default 0.05).
+	Imbalance float64
+}
+
+// Partition computes a k-way partition with the parallel multilevel
+// engine (heavy-edge matching, counting-sort contraction,
+// batch-synchronous boundary refinement). The result is deterministic
+// for a given seed regardless of worker count.
+func Partition(g *Graph, opt PartitionOptions) (PartitionResult, error) {
+	return partition.MultilevelKWay(g, opt.K, MultilevelOptions{
+		Imbalance: opt.Imbalance,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+	})
+}
+
+// PartitionWorkspace holds the pooled buffers of the multilevel
+// engine; reusing one across calls makes warm partitions allocation-
+// free. Acquire with AcquirePartitionWorkspace and call
+// PartitionInWorkspace; the returned Part slice aliases workspace
+// memory and is valid until the next call with the same workspace.
+type PartitionWorkspace = partition.Workspace
+
+// AcquirePartitionWorkspace takes a pooled partitioner workspace.
+func AcquirePartitionWorkspace() *PartitionWorkspace { return partition.AcquireWorkspace() }
+
+// ReleasePartitionWorkspace returns a workspace to the pool.
+func ReleasePartitionWorkspace(ws *PartitionWorkspace) { partition.ReleaseWorkspace(ws) }
+
+// PartitionInWorkspace runs Partition inside a caller-held workspace.
+// The returned Part aliases workspace memory — clone it if it must
+// outlive the next call.
+func PartitionInWorkspace(ws *PartitionWorkspace, g *Graph, opt PartitionOptions) (PartitionResult, error) {
+	return ws.KWay(g, opt.K, MultilevelOptions{
+		Imbalance: opt.Imbalance,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+	})
+}
+
+// BlockedPerm computes the partition-blocked relabeling permutation
+// for a partition: perm[newID] = oldID orders vertices by (part,
+// descending degree), and bounds (length k+1) marks each part's
+// contiguous new-id block. Feed perm to Relabel and bounds to
+// NewSharded.
+func BlockedPerm(g *Graph, part []int32, k int) (perm, bounds []int32, err error) {
+	return partition.BlockedPerm(g, part, k)
+}
+
+// Relabel permutes a graph's vertex ids: perm[newID] = oldID. Returns
+// the relabeled graph and the inverse map inv (inv[oldID] = newID).
+// Edge ids and weights follow their arcs.
+func Relabel(g *Graph, perm []int32) (*Graph, []int32, error) {
+	return graph.Relabel(g, perm)
+}
+
+// ShardedGraph executes kernels shard-locally over a partition-blocked
+// graph: BFS and PageRank run bulk-synchronously with batched
+// cross-shard exchange, bit-identical at every worker count.
+type ShardedGraph = shard.Graph
+
+// ShardedPageRankOptions configures ShardedGraph.PageRank.
+type ShardedPageRankOptions = shard.PageRankOptions
+
+// NewSharded wraps a partition-blocked graph (from Partition +
+// BlockedPerm + Relabel) with its shard bounds for shard-local kernel
+// execution.
+func NewSharded(g *Graph, bounds []int32) (*ShardedGraph, error) {
+	return shard.New(g, bounds)
+}
 
 // Extensions beyond the paper's sections 3-5, implementing its stated
 // ongoing work (Section 6).

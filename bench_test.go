@@ -280,10 +280,11 @@ func BenchmarkWorkspaceMultiSource(b *testing.B) {
 	}
 }
 
-// BenchmarkWorkspaceMultiSourceLegacy measures the compatibility
-// wrapper, which materializes a dense Result per source and serializes
-// visit — the pre-workspace allocation behavior, kept as the
-// regression baseline.
+// BenchmarkWorkspaceMultiSourceLegacy measures the deprecated
+// compatibility wrapper, which materializes a dense Result per source
+// and serializes visit — the pre-workspace allocation behavior, kept
+// deliberately as the regression baseline (the last sanctioned caller
+// of bfs.MultiSource in this tree).
 func BenchmarkWorkspaceMultiSourceLegacy(b *testing.B) {
 	g := workspaceGraph()
 	sources := workspaceSources(g.NumVertices(), 64)

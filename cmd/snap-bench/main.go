@@ -30,6 +30,7 @@ func main() {
 		ingest  = flag.Bool("ingest", false, "measure snapshot-epoch streaming commits and incremental kernels")
 		sk      = flag.Bool("sketch", false, "measure the approximate-analytics tier (HyperANF, sampled closeness, landmark oracle) against the exact kernels")
 		part    = flag.Bool("partition", false, "measure the parallel multilevel partitioner and the partition-blocked shard-local kernel layout")
+		srv     = flag.Bool("serve", false, "load-test the serving tier: sustained qps and p50/p99 with and without request coalescing and the result cache")
 		all     = flag.Bool("all", false, "run every experiment in paper order")
 		scale   = flag.Float64("scale", 0.1, "instance scale relative to the paper (1 = full size)")
 		k       = flag.Int("k", 32, "part count for Table 1")
@@ -110,6 +111,10 @@ func main() {
 	}
 	if *part {
 		bench.Partition(cfg)
+		ran = true
+	}
+	if *srv {
+		bench.Serve(cfg)
 		ran = true
 	}
 	if !ran {

@@ -227,5 +227,6 @@ func All(cfg Config) {
 	Ingest(cfg)
 	Sketch(cfg)
 	Partition(cfg)
+	Serve(cfg)
 	fmt.Fprintf(cfg.Out, "total harness time: %.1fs\n", time.Since(start).Seconds())
 }

@@ -42,6 +42,11 @@ type Options struct {
 	// steps on directed graphs (see graph.Reverse); nil makes
 	// directed direction-optimizing traversals fall back to top-down.
 	Reverse *graph.Graph
+	// Cancel, when non-nil, is polled once per level; reporting true
+	// aborts the traversal early with partial results (see
+	// frontier.Options.Cancel). The hook servers use to stop abandoned
+	// queries from burning cores.
+	Cancel func() bool
 }
 
 // Serial runs a textbook serial BFS through a pooled engine; the
@@ -67,6 +72,7 @@ func Parallel(g *graph.Graph, src int32, opt Options) Result {
 		Alive:       opt.Alive,
 		MaxDepth:    -1,
 		DegreeAware: opt.DegreeAware,
+		Cancel:      opt.Cancel,
 	})
 	return e.Export()
 }
@@ -95,6 +101,7 @@ func DirectionOptimizing(g *graph.Graph, src int32, opt Options) Result {
 		Beta:        opt.Beta,
 		DegreeAware: opt.DegreeAware,
 		Reverse:     opt.Reverse,
+		Cancel:      opt.Cancel,
 	})
 	return e.Export()
 }
@@ -168,8 +175,13 @@ func MultiSourceWorkspace(g *graph.Graph, sources []int32, maxDepth int32, worke
 // MultiSource is the legacy multi-source entry point, kept for
 // compatibility: visit(i, result) calls are serialized under a mutex
 // and each receives a freshly allocated dense Result it may retain.
-// New code should use MultiSourceWorkspace, which neither serializes
-// the reduction nor allocates per source.
+//
+// Deprecated: use MultiSourceWorkspace, which neither serializes the
+// reduction nor allocates per source — the mutex gates every worker
+// behind one consumer and the two O(n) arrays per source defeat the
+// pooled-workspace zero-allocation contract. MultiSource survives only
+// for callers that genuinely must retain dense Results; none remain in
+// this tree.
 func MultiSource(g *graph.Graph, sources []int32, maxDepth int32, workers int, visit func(i int, r Result)) {
 	var mu sync.Mutex
 	MultiSourceWorkspace(g, sources, maxDepth, workers, func(_, i int, ws *Workspace) {

@@ -81,6 +81,16 @@ type Options struct {
 	// ForceBottomUp(d) (still subject to direction eligibility).
 	// Testing hook for exercising switches at every level.
 	ForceBottomUp func(depth int32) bool
+	// Cancel, when non-nil, is polled once per level (the traversal's
+	// natural synchronization point — small-world graphs have few
+	// levels, so the poll adds no measurable cost). When it reports
+	// true the traversal stops before expanding the next level and
+	// RunOptions returns early with partial state: distances discovered
+	// so far remain readable, but the run is incomplete and must not be
+	// treated as a full BFS. The hook is how servers thread
+	// context/deadline cancellation into the level-synchronous loop so
+	// abandoned requests stop burning cores within one level.
+	Cancel func() bool
 }
 
 // Engine is the shared level-synchronous traversal core: reusable
@@ -230,6 +240,9 @@ func (e *Engine) RunOptions(g *graph.Graph, src int32, opt Options) {
 	bottomUp := false
 	for depth := int32(0); levelEnd > levelStart; depth++ {
 		if opt.MaxDepth >= 0 && depth >= opt.MaxDepth {
+			break
+		}
+		if opt.Cancel != nil && opt.Cancel() {
 			break
 		}
 		size := levelEnd - levelStart

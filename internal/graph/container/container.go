@@ -123,6 +123,9 @@ func Save(path string, g *graph.Graph, opt Options) error {
 // deterministic for a given graph and options (section contents are
 // independent of the worker count).
 func Encode(w io.Writer, g *graph.Graph, opt Options) error {
+	if err := g.CheckOpen(); err != nil {
+		return err
+	}
 	n := int64(g.NumVertices())
 	arcs := int64(len(g.Adj))
 	var flags uint64

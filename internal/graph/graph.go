@@ -47,6 +47,10 @@ type Graph struct {
 	// alias something with a lifetime — an mmap'd SNP2 container. Nil
 	// for ordinary heap-built graphs. See Close.
 	closer func() error
+	// closed records that a closer actually ran: the slice fields alias
+	// a dead mapping and any access faults. Heap-built graphs never set
+	// it. See Closed and CheckOpen.
+	closed bool
 }
 
 // NumVertices reports n, the number of vertices.

@@ -20,6 +20,9 @@ import (
 
 // WriteEdgeList writes g in the text edge-list format.
 func WriteEdgeList(w io.Writer, g *Graph) error {
+	if err := g.CheckOpen(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	kind := "undirected"
 	if g.Directed() {
@@ -300,6 +303,9 @@ const ioChunk = 1 << 20
 // are written as bulk little-endian byte blocks (on little-endian
 // hosts a direct view of the slice memory, no per-element encoding).
 func WriteBinary(w io.Writer, g *Graph) error {
+	if err := g.CheckOpen(); err != nil {
+		return err
+	}
 	var hdr [binHeaderSize]byte
 	copy(hdr[:4], binMagic[:])
 	var flags uint64

@@ -49,6 +49,9 @@ func MergeDelta(g *Graph, add, del []Edge) (*Graph, error) {
 // MergeDeltaWorkers is MergeDelta with an explicit worker count. The
 // output is bit-identical for every workers >= 1.
 func MergeDeltaWorkers(g *Graph, add, del []Edge, workers int) (*Graph, error) {
+	if err := g.CheckOpen(); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	if workers < 1 {
 		workers = 1

@@ -1,9 +1,17 @@
 package graph
 
+import "errors"
+
 // Zero-copy construction and lifetime management. The SNP2 container
 // (internal/graph/container) builds graphs whose slice fields alias a
 // read-only file mapping; these hooks let it do that without exposing
 // the Graph internals, and give such graphs an explicit release point.
+
+// ErrClosed reports use of a graph after Close released its backing
+// resource: the CSR slices alias an unmapped container and any access
+// would fault. Returned by CheckOpen and by the error-returning entry
+// points that read the CSR.
+var ErrClosed = errors.New("graph: use after Close (backing container unmapped)")
 
 // WrapCSR wraps pre-built CSR arrays in a Graph without copying or
 // validating them. The caller asserts the Graph invariants hold
@@ -40,5 +48,24 @@ func (g *Graph) Close() error {
 		return nil
 	}
 	g.closer = nil
+	g.closed = true
 	return fn()
+}
+
+// Closed reports whether Close released the graph's backing resource.
+// A closed graph's slice fields alias a dead mapping: any kernel run
+// against it faults on first touch, so query layers must refuse it —
+// see CheckOpen. Heap-built graphs (no backing resource) are never
+// closed and stay valid for their whole lifetime.
+func (g *Graph) Closed() bool { return g.closed }
+
+// CheckOpen returns ErrClosed when the graph has been Closed, nil
+// otherwise — the guard every error-returning facade and serving entry
+// point runs before touching the CSR, turning a use-after-Close from a
+// segfault on the dead mmap into an ordinary error.
+func (g *Graph) CheckOpen() error {
+	if g.closed {
+		return ErrClosed
+	}
+	return nil
 }

@@ -19,6 +19,9 @@ import (
 // rows. Edge ids and weights are preserved arc-for-arc, so relabeling
 // commutes with every EID- or weight-indexed kernel.
 func Relabel(g *Graph, perm []int32) (*Graph, []int32, error) {
+	if err := g.CheckOpen(); err != nil {
+		return nil, nil, err
+	}
 	n := g.NumVertices()
 	if len(perm) != n {
 		return nil, nil, fmt.Errorf("graph: relabel perm length %d != n %d", len(perm), n)

@@ -6,6 +6,9 @@ import "fmt"
 // vertices, together with the mapping from new vertex ids to the
 // original ids (origOf[new] == old). Duplicate vertices are an error.
 func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32, error) {
+	if err := g.CheckOpen(); err != nil {
+		return nil, nil, err
+	}
 	n := g.NumVertices()
 	newID := make([]int32, n)
 	for i := range newID {

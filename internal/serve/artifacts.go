@@ -1,0 +1,60 @@
+package serve
+
+import "sync"
+
+// artifactCache holds expensive per-epoch derived structures — exact
+// centrality vectors, community assignments, component labelings,
+// landmark distance oracles — computed at most once per (epoch, kind)
+// and shared by every request against that epoch. Builds are
+// singleflighted: the first request for a kind computes while later
+// requests wait on its done channel, so a burst of identical cold
+// queries costs one kernel run, not N.
+//
+// Like the result cache, invalidation is the epoch swap itself: the
+// cache remembers which seq its entries belong to and drops the whole
+// map the first time a newer seq is requested. Only the latest epoch's
+// artifacts are retained — an intentional single-version policy, since
+// the server always answers from the newest epoch.
+type artifactCache struct {
+	mu  sync.Mutex
+	seq uint64
+	m   map[string]*artifact
+}
+
+type artifact struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// get returns the artifact for (seq, kind), building it with build on
+// first request. Failed builds are not retained: the next request
+// retries. build runs without the cache lock held; the caller must
+// keep its epoch pinned for the duration of the call so build's graph
+// stays valid.
+func (a *artifactCache) get(seq uint64, kind string, build func() (any, error)) (any, error) {
+	a.mu.Lock()
+	if a.m == nil || seq != a.seq {
+		a.m = make(map[string]*artifact, 4)
+		a.seq = seq
+	}
+	if art := a.m[kind]; art != nil {
+		a.mu.Unlock()
+		<-art.done
+		return art.val, art.err
+	}
+	art := &artifact{done: make(chan struct{})}
+	a.m[kind] = art
+	a.mu.Unlock()
+
+	art.val, art.err = build()
+	close(art.done)
+	if art.err != nil {
+		a.mu.Lock()
+		if a.seq == seq && a.m[kind] == art {
+			delete(a.m, kind)
+		}
+		a.mu.Unlock()
+	}
+	return art.val, art.err
+}

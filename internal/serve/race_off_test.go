@@ -1,0 +1,11 @@
+//go:build !race
+
+package serve
+
+// raceDetectorEnabled reports whether this binary was built with
+// -race. Under the detector sync.Pool deliberately drops cached items
+// at random (to widen the interleavings it can observe), so the pooled
+// scratch on the cache-hit path shows spurious allocations there; the
+// zero-alloc assertion only holds — and only matters — in a normal
+// build, which the plain CI test job and the bench smoke both enforce.
+const raceDetectorEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package serve
+
+// See race_off_test.go.
+const raceDetectorEnabled = true

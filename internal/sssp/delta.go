@@ -140,6 +140,13 @@ func (ws *Workspace) Parent() []int32 { return ws.parent }
 // Result bundles the workspace-owned Dist and Parent slices.
 func (ws *Workspace) Result() Result { return Result{Dist: ws.dist, Parent: ws.parent} }
 
+// Reached returns the vertices reached by the last Run (including the
+// source), in no particular order. Serving layers summarize a run —
+// reached count, distance sum, maximum — in O(reached) from this slice
+// instead of scanning the O(n) distance array. Read-only,
+// workspace-owned, valid until the next Run.
+func (ws *Workspace) Reached() []int32 { return ws.touched }
+
 // resize establishes the clean invariant for n vertices. Fresh
 // allocations are filled to capacity so later in-capacity regrows stay
 // clean; previously used entries were restored by the run that touched
@@ -388,7 +395,7 @@ func (ws *Workspace) Run(g *graph.Graph, src int32, opt DeltaSteppingOptions) {
 		workers = par.Workers()
 	}
 	if g.W == nil {
-		ws.runUnweighted(g, src, workers)
+		ws.runUnweighted(g, src, workers, opt.Cancel)
 		return
 	}
 	maxW := ws.maxWeight(g, workers)
@@ -414,6 +421,10 @@ func (ws *Workspace) Run(g *graph.Graph, src int32, opt DeltaSteppingOptions) {
 	r.queued = 1
 
 	for r.queued > 0 {
+		if opt.Cancel != nil && opt.Cancel() {
+			ws.abort(r)
+			return
+		}
 		// Find the lowest non-empty bucket in the window [base, base+k).
 		// Relaxations never produce a bucket below cur, so cur advances
 		// monotonically and the scan never needs to look back; anything
@@ -443,15 +454,30 @@ func (ws *Workspace) Run(g *graph.Graph, src int32, opt DeltaSteppingOptions) {
 	r.g = nil // drop the graph reference while pooled
 }
 
+// abort cleans up a cancelled run: the bucket window and overflow list
+// may still hold entries (a completed run drains both), and leaving
+// them behind would leak ghost work into the workspace's next Run. The
+// touched list is complete at every phase boundary — the only points
+// Run polls Cancel — so reset's sparse clean-state restore stays exact.
+func (ws *Workspace) abort(r *deltaRun) {
+	for i := range ws.slots {
+		ws.slots[i] = ws.slots[i][:0]
+	}
+	ws.far = ws.far[:0]
+	ws.settled = ws.settled[:0]
+	r.g = nil
+}
+
 // runUnweighted is the degenerate all-weights-1 case on the shared
 // frontier engine, converted to the float64 Result convention.
-func (ws *Workspace) runUnweighted(g *graph.Graph, src int32, workers int) {
+func (ws *Workspace) runUnweighted(g *graph.Graph, src int32, workers int, cancel func() bool) {
 	e := frontier.AcquireEngine(g.NumVertices())
 	defer frontier.ReleaseEngine(e)
 	e.RunOptions(g, src, frontier.Options{
 		Workers:  workers,
 		MaxDepth: -1,
 		Alpha:    frontier.DefaultAlpha,
+		Cancel:   cancel,
 	})
 	ws.touched = append(ws.touched, e.Order()...)
 	for _, v := range e.Order() {

@@ -72,6 +72,13 @@ type DeltaSteppingOptions struct {
 	Delta float64
 	// Workers bounds parallelism; <= 0 means par.Workers().
 	Workers int
+	// Cancel, when non-nil, is polled at every bucket-phase boundary
+	// (and per BFS level on the unweighted path). When it reports true
+	// the run aborts early: distances are partial and must not be
+	// served, but the workspace's clean-state invariant is restored so
+	// it remains poolable — abandoned server requests stop consuming
+	// CPU within one bucket phase without poisoning the pool.
+	Cancel func() bool
 }
 
 // DeltaStepping computes SSSP with the lock-free parallel

@@ -27,6 +27,7 @@
 package snap
 
 import (
+	"context"
 	"io"
 
 	"snap/internal/bfs"
@@ -46,6 +47,12 @@ import (
 
 // Graph is the immutable CSR graph at the heart of SNAP.
 type Graph = graph.Graph
+
+// ErrGraphClosed is returned by operations on a graph whose backing
+// storage has been released with Close (for example an unmapped SNP2
+// container). Long-lived services should check Graph.Closed — or just
+// propagate this error — rather than risk a fault on unmapped pages.
+var ErrGraphClosed = graph.ErrClosed
 
 // Edge is an input edge for graph construction.
 type Edge = graph.Edge
@@ -209,6 +216,27 @@ func BFSWithOptions(g *Graph, src int32, opt BFSOptions) BFSResult {
 	return bfs.DirectionOptimizing(g, src, opt)
 }
 
+// BFSContext is BFSWithOptions with cooperative cancellation: the
+// context is polled once per frontier level (on top of any Cancel
+// already in opt), and a cancelled or expired context aborts the
+// traversal at the next level boundary and returns ctx.Err(). The
+// partial result is discarded — callers that want partial traversals
+// should bound the work with BFSOptions.MaxDepth instead.
+func BFSContext(ctx context.Context, g *Graph, src int32, opt BFSOptions) (BFSResult, error) {
+	if err := ctx.Err(); err != nil {
+		return BFSResult{}, err
+	}
+	prev := opt.Cancel
+	opt.Cancel = func() bool {
+		return ctx.Err() != nil || (prev != nil && prev())
+	}
+	res := bfs.DirectionOptimizing(g, src, opt)
+	if err := ctx.Err(); err != nil {
+		return BFSResult{}, err
+	}
+	return res, nil
+}
+
 // BFSWorkspace is reusable epoch-stamped BFS state: resetting between
 // sources is O(1), so multi-source traversal loops run allocation-free.
 // Not safe for concurrent use; acquire one per goroutine.
@@ -271,6 +299,26 @@ type DeltaSteppingOptions = sssp.DeltaSteppingOptions
 // degenerate to the direction-optimizing BFS engine.
 func DeltaStepping(g *Graph, src int32, opt DeltaSteppingOptions) SSSPResult {
 	return sssp.DeltaStepping(g, src, opt)
+}
+
+// DeltaSteppingContext is DeltaStepping with cooperative cancellation:
+// the context is polled at every bucket-phase boundary (on top of any
+// Cancel already in opt), and a cancelled or expired context aborts
+// the run and returns ctx.Err(). An aborted delta-stepping run never
+// finalizes its tentative distances, so no partial result is returned.
+func DeltaSteppingContext(ctx context.Context, g *Graph, src int32, opt DeltaSteppingOptions) (SSSPResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SSSPResult{}, err
+	}
+	prev := opt.Cancel
+	opt.Cancel = func() bool {
+		return ctx.Err() != nil || (prev != nil && prev())
+	}
+	res := sssp.DeltaStepping(g, src, opt)
+	if err := ctx.Err(); err != nil {
+		return SSSPResult{}, err
+	}
+	return res, nil
 }
 
 // SSSPWorkspace is the reusable state of the delta-stepping engine:
